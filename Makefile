@@ -1,0 +1,33 @@
+# Convenience targets for the NetRS reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast test-slow bench bench-figures lint-clean help
+
+help:
+	@echo "install       editable install"
+	@echo "test          full test suite (incl. slow shape assertions)"
+	@echo "test-fast     fast tests only (~15 s)"
+	@echo "bench         all benchmarks (figures + ablations + microbench)"
+	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-figures:
+	$(PYTHON) -m pytest benchmarks/test_bench_fig4_clients.py \
+		benchmarks/test_bench_fig5_skew.py \
+		benchmarks/test_bench_fig6_utilization.py \
+		benchmarks/test_bench_fig7_service_time.py --benchmark-only -s

@@ -1,0 +1,128 @@
+"""Shared helpers for the benchmark harness.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_REQUESTS``  -- requests per run (default 6000; the paper uses
+  6,000,000 -- raise this on a fast machine for tighter tails),
+* ``REPRO_BENCH_PROFILE``   -- ``small`` (default) or ``paper``,
+* ``REPRO_BENCH_SEED``      -- base seed (default 1),
+* ``REPRO_BENCH_REPS``      -- repetitions per cell (default 1; paper uses 3).
+
+Each figure benchmark measures the wall time of regenerating one scheme's
+series and stores the latency metrics in ``benchmark.extra_info``; the
+collected figure is also written to ``benchmarks/results/<figure>.txt`` in
+the paper's table layout.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Dict, List, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, base_config
+from repro.experiments.metrics import METRICS
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import SweepResult
+from repro.experiments.tables import format_figure, format_reductions
+
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "6000"))
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "small")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "1"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_config(scheme: str, **overrides) -> ExperimentConfig:
+    """The benchmark profile's configuration for one scheme."""
+    overrides.setdefault("total_requests", BENCH_REQUESTS)
+    return base_config(BENCH_PROFILE, seed=BENCH_SEED, scheme=scheme, **overrides)
+
+
+def figure_values(figure_id: str) -> Sequence[Any]:
+    """Swept values of a figure under the current profile."""
+    return FIGURES[figure_id].values(BENCH_PROFILE)
+
+
+def run_series(
+    figure_id: str, scheme: str, **extra_overrides
+) -> Dict[Any, Dict[str, float]]:
+    """Run one scheme across a figure's swept values, averaging reps."""
+    spec = FIGURES[figure_id]
+    series: Dict[Any, Dict[str, float]] = {}
+    for value in figure_values(figure_id):
+        summaries: List[Dict[str, float]] = []
+        for rep in range(BENCH_REPS):
+            config = bench_config(
+                scheme, **{spec.parameter: value}, **extra_overrides
+            ).replace(seed=BENCH_SEED + rep)
+            summaries.append(run_experiment(config).summary())
+        series[value] = {
+            metric: sum(s[metric] for s in summaries) / len(summaries)
+            for metric in METRICS
+        }
+    return series
+
+
+class FigureCollector:
+    """Accumulates per-scheme series and renders the figure at the end."""
+
+    def __init__(self, figure_id: str) -> None:
+        self.figure_id = figure_id
+        self.spec = FIGURES[figure_id]
+        self.series: Dict[str, Dict[Any, Dict[str, float]]] = {}
+
+    def add(self, scheme: str, series: Dict[Any, Dict[str, float]]) -> None:
+        """Store one scheme's results."""
+        self.series[scheme] = series
+
+    def to_sweep(self) -> SweepResult:
+        """Repackage collected series as a SweepResult for the formatters."""
+        values = list(figure_values(self.figure_id))
+        sweep = SweepResult(
+            parameter=self.spec.parameter,
+            values=values,
+            schemes=list(self.series),
+            repetitions=BENCH_REPS,
+        )
+        for scheme, series in self.series.items():
+            for value, summary in series.items():
+                sweep.cells[(value, scheme)] = summary
+        return sweep
+
+    def render(self) -> str:
+        """The figure as paper-style text tables."""
+        sweep = self.to_sweep()
+        parts = [
+            format_figure(
+                sweep,
+                title=(
+                    f"{self.spec.title} "
+                    f"[profile={BENCH_PROFILE}, requests={BENCH_REQUESTS}, "
+                    f"reps={BENCH_REPS}]"
+                ),
+            )
+        ]
+        if "clirs" in self.series and "netrs-ilp" in self.series:
+            parts.append(format_reductions(sweep))
+        return "\n\n".join(parts)
+
+    def finalize(self) -> None:
+        """Print the figure and persist it under benchmarks/results/."""
+        text = self.render()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.figure_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+
+def flatten_extra_info(series: Dict[Any, Dict[str, float]]) -> Dict[str, float]:
+    """Series -> flat benchmark extra_info keys like ``mean@64``."""
+    flat: Dict[str, float] = {}
+    for value, summary in series.items():
+        for metric, number in summary.items():
+            flat[f"{metric}@{value}"] = round(number, 4)
+    return flat

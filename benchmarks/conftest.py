@@ -1,0 +1,27 @@
+"""Benchmark fixtures: per-figure collectors that render paper tables."""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _support import FigureCollector  # noqa: E402
+
+
+def _collector_fixture(figure_id: str):
+    @pytest.fixture(scope="module")
+    def collector():
+        instance = FigureCollector(figure_id)
+        yield instance
+        if instance.series:
+            instance.finalize()
+
+    return collector
+
+
+fig4_collector = _collector_fixture("fig4")
+fig5_collector = _collector_fixture("fig5")
+fig6_collector = _collector_fixture("fig6")
+fig7_collector = _collector_fixture("fig7")

@@ -1,0 +1,51 @@
+"""Ablation: replica-selection algorithms under NetRS.
+
+NetRS is algorithm-agnostic (section IV-C); the paper runs C3 everywhere.
+This benchmark swaps the RSNode algorithm to quantify how much of the win is
+C3 vs how much is the in-network placement itself.
+"""
+
+import pytest
+
+from _support import bench_config
+from repro.experiments.runner import run_experiment
+
+ALGORITHMS = ("c3", "least-outstanding", "two-choices", "random", "ewma-snitch")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_netrs_ilp_latency_by_algorithm(benchmark, algorithm):
+    config = bench_config("netrs-ilp", algorithm=algorithm)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {f"latency_{k}": round(v, 4) for k, v in result.summary().items()}
+    )
+    assert result.completed_requests == config.total_requests
+
+
+@pytest.mark.parametrize("algorithm", ("c3", "random"))
+def test_clirs_latency_by_algorithm(benchmark, algorithm):
+    """Client-side baseline for the same algorithms."""
+    config = bench_config("clirs", algorithm=algorithm)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {f"latency_{k}": round(v, 4) for k, v in result.summary().items()}
+    )
+    assert result.completed_requests == config.total_requests
+
+
+@pytest.mark.parametrize("scheme", ("clirs", "netrs-ilp"))
+def test_c3_rate_control_ablation(benchmark, scheme):
+    """C3's cubic backpressure (off in the paper's simulator) as an extra."""
+    config = bench_config(scheme, algorithm="c3-rate")
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {f"latency_{k}": round(v, 4) for k, v in result.summary().items()}
+    )
+    assert result.completed_requests == config.total_requests

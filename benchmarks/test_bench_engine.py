@@ -1,0 +1,120 @@
+"""Microbenchmarks of the substrates: event engine, routing, ring, Zipf, ILP.
+
+These quantify the simulator's own throughput (events/second and packet
+hops/second), which bounds how fast the paper-scale profile can run.
+"""
+
+import numpy as np
+
+from repro.kvstore.hashing import ConsistentHashRing
+from repro.kvstore.workload import ZipfSampler
+from repro.network.fabric import Network
+from repro.network.fattree import build_fat_tree
+from repro.network.packet import make_request
+from repro.network.routing import Router
+from repro.sim import Environment
+
+
+def test_event_scheduling_throughput(benchmark):
+    """Schedule-and-drain cost of 10k raw callbacks."""
+
+    def run():
+        env = Environment()
+        for i in range(10_000):
+            env.call_in(i * 1e-6, lambda: None)
+        env.run()
+        return env.events_executed
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_timer_cancellation_throughput(benchmark):
+    """Timers that never fire (the R95 fast path)."""
+
+    def run():
+        env = Environment()
+        handles = [env.call_in(1.0, lambda: None) for _ in range(10_000)]
+        for handle in handles:
+            handle.cancel()
+        env.run()
+        return env.now
+
+    benchmark(run)
+
+
+def test_routing_throughput(benchmark):
+    """Path computations across a 16-ary (paper-scale) fat-tree."""
+    topo = build_fat_tree(16)
+    router = Router(topo)
+    hosts = [h.name for h in topo.hosts]
+
+    def run():
+        total = 0
+        for i in range(2_000):
+            path = router.path(hosts[i % 512], hosts[-1 - (i % 511)], i)
+            total += len(path)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_packet_hop_throughput(benchmark):
+    """Fabric transmissions per second over a long host-to-host pipe."""
+    env = Environment()
+    topo = build_fat_tree(8)
+    network = Network(env, topo)
+
+    class Reflector:
+        def __init__(self):
+            self.count = 0
+
+        def receive(self, packet, from_name):
+            self.count += 1
+
+    sink = Reflector()
+    network.attach("tor0.0", sink)
+
+    def run():
+        for i in range(5_000):
+            packet = make_request(
+                client="host0.0.0",
+                request_id=i,
+                key=i,
+                rgid=1,
+                backup_replica="host0.0.1",
+                issued_at=0.0,
+                netrs=False,
+                dst="host0.0.1",
+            )
+            network.transmit("host0.0.0", "tor0.0", packet)
+        env.run()
+        return sink.count
+
+    assert benchmark(run) > 0
+
+
+def test_ring_lookup_throughput(benchmark):
+    """Key-to-replica-group lookups on a paper-scale ring (100 servers)."""
+    ring = ConsistentHashRing(
+        [f"server{i}" for i in range(100)], replication_factor=3
+    )
+
+    def run():
+        total = 0
+        for key in range(5_000):
+            rgid, _ = ring.group_for_key(key)
+            total += rgid
+        return total
+
+    benchmark(run)
+
+
+def test_zipf_sampling_throughput(benchmark):
+    """Rejection-inversion draws from the paper's 100M-key space."""
+    sampler = ZipfSampler(100_000_000, 0.99, np.random.default_rng(0))
+
+    def run():
+        return sum(sampler.sample() for _ in range(5_000))
+
+    assert benchmark(run) > 0

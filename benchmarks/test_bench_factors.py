@@ -1,0 +1,66 @@
+"""Ablation: the paper's two fundamental factors, measured directly.
+
+Section I claims client RSNodes suffer (i) stale local information and
+(ii) herd behavior, and that NetRS fixes both by concentrating selection in
+few traffic-aggregating RSNodes.  This benchmark quantifies the mechanism:
+feedback age at selection time and queue imbalance over time, per scheme.
+"""
+
+import pytest
+
+from _support import bench_config
+from repro.analysis import attach_probes, jain_fairness
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import build_scenario
+
+SCHEMES = ("clirs", "netrs-tor", "netrs-ilp")
+
+
+def _measure(scheme):
+    config = bench_config(scheme)
+    scenario = build_scenario(config)
+    probes = attach_probes(scenario)
+    result = run_experiment(config, scenario=scenario)
+    return result, probes
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_factors_by_scheme(benchmark, scheme):
+    result, probes = benchmark.pedantic(
+        _measure, args=(scheme,), rounds=1, iterations=1
+    )
+    staleness = probes.staleness.summary()
+    herd = probes.queues.summary()
+    benchmark.extra_info["mean_feedback_age_ms"] = round(
+        staleness["mean_age"] * 1e3, 3
+    )
+    benchmark.extra_info["cold_selections"] = staleness["cold_selections"]
+    benchmark.extra_info["queue_cv"] = round(herd.mean_cv, 4)
+    benchmark.extra_info["oscillation_fraction"] = round(
+        herd.oscillation_fraction, 4
+    )
+    benchmark.extra_info["jain_fairness"] = round(
+        jain_fairness(probes.trace.per_server_counts()), 4
+    )
+    benchmark.extra_info["latency_mean_ms"] = round(result.summary()["mean"], 3)
+    assert len(probes.trace) == result.config.total_requests
+
+
+def test_netrs_reduces_both_factors(benchmark):
+    """The paper's causal story, asserted: fresher feedback + less herding."""
+
+    def run_pair():
+        return {scheme: _measure(scheme) for scheme in ("clirs", "netrs-ilp")}
+
+    measured = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    clirs_staleness = measured["clirs"][1].staleness.mean_age()
+    netrs_staleness = measured["netrs-ilp"][1].staleness.mean_age()
+    clirs_herd = measured["clirs"][1].queues.summary().mean_cv
+    netrs_herd = measured["netrs-ilp"][1].queues.summary().mean_cv
+    benchmark.extra_info["staleness_ratio"] = round(
+        clirs_staleness / netrs_staleness, 2
+    )
+    benchmark.extra_info["herd_cv_clirs"] = round(clirs_herd, 4)
+    benchmark.extra_info["herd_cv_netrs"] = round(netrs_herd, 4)
+    assert netrs_staleness < clirs_staleness
+    assert netrs_herd < clirs_herd

@@ -1,0 +1,26 @@
+"""Figure 4: response latency vs number of clients.
+
+Paper setup: clients swept over {100, 300, 500, 700} (scaled profile:
+{16, 32, 64, 96}), all four schemes, Avg/95th/99th/99.9th latency.
+
+Expected shape: CliRS latency grows with the client count (more independent
+RSNodes -> staler information and more herding) while both NetRS schemes
+stay flat; NetRS-ILP is the best throughout.
+"""
+
+import pytest
+
+from _support import BENCH_SEED, flatten_extra_info, run_series
+
+SCHEMES = ("clirs", "clirs-r95", "netrs-tor", "netrs-ilp")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig4_series(benchmark, scheme, fig4_collector):
+    series = benchmark.pedantic(
+        run_series, args=("fig4", scheme), rounds=1, iterations=1
+    )
+    fig4_collector.add(scheme, series)
+    benchmark.extra_info.update(flatten_extra_info(series))
+    benchmark.extra_info["seed"] = BENCH_SEED
+    assert all(summary["mean"] > 0 for summary in series.values())

@@ -1,0 +1,25 @@
+"""Figure 5: response latency vs demand skewness.
+
+Paper setup: the share of requests issued by 20% of clients swept over
+{70%, 80%, 90%, 95%}; all four schemes.
+
+Expected shape: NetRS-ILP still wins everywhere, but its relative latency
+reduction shrinks as skew rises (fewer effective client RSNodes narrows
+CliRS's disadvantage, while switch-level traffic stays spread out).
+"""
+
+import pytest
+
+from _support import flatten_extra_info, run_series
+
+SCHEMES = ("clirs", "clirs-r95", "netrs-tor", "netrs-ilp")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig5_series(benchmark, scheme, fig5_collector):
+    series = benchmark.pedantic(
+        run_series, args=("fig5", scheme), rounds=1, iterations=1
+    )
+    fig5_collector.add(scheme, series)
+    benchmark.extra_info.update(flatten_extra_info(series))
+    assert all(summary["p999"] >= summary["mean"] for summary in series.values())

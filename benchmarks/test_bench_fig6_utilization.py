@@ -1,0 +1,26 @@
+"""Figure 6: response latency vs system utilization.
+
+Paper setup: nominal utilization swept over {30%, 50%, 70%, 90%}; all four
+schemes.
+
+Expected shape: every scheme degrades as utilization grows; NetRS-ILP's
+advantage over CliRS widens in the high-utilization region (bad selections
+cost more when resources are contended); CliRS-R95 helps tails only at low
+utilization.
+"""
+
+import pytest
+
+from _support import flatten_extra_info, run_series
+
+SCHEMES = ("clirs", "clirs-r95", "netrs-tor", "netrs-ilp")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig6_series(benchmark, scheme, fig6_collector):
+    series = benchmark.pedantic(
+        run_series, args=("fig6", scheme), rounds=1, iterations=1
+    )
+    fig6_collector.add(scheme, series)
+    benchmark.extra_info.update(flatten_extra_info(series))
+    assert all(summary["mean"] > 0 for summary in series.values())

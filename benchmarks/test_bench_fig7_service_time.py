@@ -1,0 +1,29 @@
+"""Figure 7: response latency vs server service time.
+
+Paper setup: mean service time t_kv swept over {0.1, 0.5, 1, 2, 4} ms; all
+four schemes.  Utilization is held constant, so the arrival rate scales
+inversely with the service time.
+
+Expected shape: absolute latency scales with the service time for every
+scheme; NetRS-ILP's *mean*-latency reduction shrinks at small service times
+(the fixed network/selector overheads of taking extra hops become comparable
+to t_kv) while the tail-latency advantage persists.
+"""
+
+import pytest
+
+from _support import flatten_extra_info, run_series
+
+SCHEMES = ("clirs", "clirs-r95", "netrs-tor", "netrs-ilp")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig7_series(benchmark, scheme, fig7_collector):
+    series = benchmark.pedantic(
+        run_series, args=("fig7", scheme), rounds=1, iterations=1
+    )
+    fig7_collector.add(scheme, series)
+    benchmark.extra_info.update(flatten_extra_info(series))
+    values = list(series)
+    # Latency scales with service time: slowest point beats fastest point.
+    assert series[values[-1]]["mean"] > series[values[0]]["mean"]

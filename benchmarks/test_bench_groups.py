@@ -1,0 +1,48 @@
+"""Ablation: traffic-group granularity (paper section III-A).
+
+The paper discusses host-level vs rack-level vs intervening-level traffic
+groups: finer groups give the planner more freedom but enlarge the problem
+and the rule tables.  This benchmark quantifies the trade-off on plan size,
+solve time and end-to-end latency.
+"""
+
+import pytest
+
+from _support import bench_config
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import build_scenario
+
+GRANULARITIES = ("rack", 2, "host")
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES, ids=str)
+def test_latency_by_granularity(benchmark, granularity):
+    config = bench_config("netrs-ilp", group_granularity=granularity)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {f"latency_{k}": round(v, 4) for k, v in result.summary().items()}
+    )
+    benchmark.extra_info["rsnode_count"] = result.rsnode_count
+    assert result.completed_requests == config.total_requests
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES, ids=str)
+def test_planning_cost_by_granularity(benchmark, granularity):
+    """Scenario construction including the ILP solve, per granularity."""
+
+    def build():
+        return build_scenario(
+            bench_config(
+                "netrs-ilp",
+                group_granularity=granularity,
+                total_requests=100,
+            )
+        )
+
+    scenario = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["groups"] = len(scenario.groups)
+    benchmark.extra_info["rsnode_count"] = scenario.plan.rsnode_count
+    benchmark.extra_info["solve_time_s"] = round(scenario.plan.solve_time, 4)
+    assert len(scenario.groups) >= scenario.plan.rsnode_count

@@ -1,0 +1,86 @@
+"""Ablation: RSNode placement backends (section V-B text + our extras).
+
+Compares the paper's NetRS-ILP against NetRS-ToR, the greedy heuristic and
+the core-only packing, on (a) solver wall time, (b) resulting RSNode count,
+(c) end-to-end latency.  The paper reports an example ILP plan of "6 RSNodes
+on aggregation switches and 1 on a core switch"; the analogous scaled plan
+shape (a few aggregation RSNodes plus cores, far fewer than ToR-level) is
+asserted here.
+"""
+
+import pytest
+
+from _support import bench_config, flatten_extra_info
+from repro.core.placement import SOLVERS
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import build_scenario
+from repro.network.addressing import TIER_TOR
+
+PLACEMENT_SCHEMES = ("netrs-tor", "netrs-ilp", "netrs-greedy", "netrs-core")
+
+
+@pytest.mark.parametrize("scheme", PLACEMENT_SCHEMES)
+def test_end_to_end_latency_by_backend(benchmark, scheme):
+    config = bench_config(scheme)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {f"latency_{k}": round(v, 4) for k, v in result.summary().items()}
+    )
+    benchmark.extra_info["rsnode_count"] = result.rsnode_count
+    assert result.completed_requests == config.total_requests
+
+
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_solver_wall_time(benchmark, solver):
+    """Pure solve time on the benchmark profile's placement problem."""
+    scenario = build_scenario(bench_config("netrs-ilp", total_requests=100))
+    controller = scenario.controller
+    traffic = controller.measured_traffic()
+    # The 100-request bootstrap leaves monitors nearly empty; use the same
+    # estimated matrix the scenario was planned with instead.
+    from repro.core.placement.problem import estimate_traffic
+
+    rate = scenario.config.arrival_rate()
+    index = {name: i for i, name in enumerate(scenario.client_hosts)}
+    group_rates = {
+        g.group_id: rate
+        * sum(float(scenario.weights.probabilities[index[h]]) for h in g.hosts)
+        for g in controller.groups
+    }
+    traffic = estimate_traffic(
+        controller.groups,
+        topology=scenario.topology,
+        server_hosts=scenario.server_hosts,
+        group_rates=group_rates,
+    )
+    problem = controller.build_problem(traffic)
+    plan = benchmark(SOLVERS[solver], problem)
+    benchmark.extra_info["rsnode_count"] = plan.rsnode_count
+    problem_groups = {g.group_id for g in controller.groups}
+    assert set(plan.assignments) == problem_groups
+
+
+def test_ilp_plan_shape_matches_paper(benchmark):
+    """ILP plans mix aggregation/core RSNodes and beat ToR-level counts."""
+
+    def build_and_plan():
+        scenario = build_scenario(bench_config("netrs-ilp", total_requests=100))
+        return scenario
+
+    scenario = benchmark.pedantic(build_and_plan, rounds=1, iterations=1)
+    plan = scenario.plan
+    controller = scenario.controller
+    tiers = [
+        controller.operators[oid].spec.tier for oid in plan.rsnode_ids
+    ]
+    client_racks = {
+        scenario.topology.tor_of(h).name for h in scenario.client_hosts
+    }
+    benchmark.extra_info["rsnode_count"] = plan.rsnode_count
+    benchmark.extra_info["tiers"] = ",".join(map(str, sorted(tiers)))
+    # Far fewer RSNodes than racks-with-clients, none of them at ToR level
+    # unless a rack's own traffic demanded it.
+    assert plan.rsnode_count < len(client_racks)
+    assert any(t != TIER_TOR for t in tiers)

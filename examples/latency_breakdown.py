@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Where does the time go?  Latency decomposition across service times.
+
+Fig. 7 of the paper shows NetRS-ILP's mean-latency advantage shrinking as
+the service time drops.  This example explains the effect mechanically by
+decomposing the mean latency of CliRS and NetRS-ILP into:
+
+* selection   -- issue until the RSNode finished choosing (0 under CliRS),
+* server queue / server service,
+* network     -- propagation hops and everything else.
+
+As t_kv falls, the fixed selection+network costs of the NetRS detour stay
+constant while the server components shrink -- until they dominate.
+
+Also prints the NetRS protocol's bandwidth overhead (design goal: keep it
+low).
+
+Usage::
+
+    python examples/latency_breakdown.py [--requests N]
+"""
+
+import argparse
+
+from repro.analysis import attach_probes
+from repro.experiments import ExperimentConfig, build_scenario, run_experiment
+
+SERVICE_TIMES = (0.5e-3, 1e-3, 4e-3)
+
+
+def breakdown(scheme: str, service_time: float, requests: int, seed: int):
+    config = ExperimentConfig.small(
+        scheme=scheme,
+        seed=seed,
+        total_requests=requests,
+        mean_service_time=service_time,
+    )
+    scenario = build_scenario(config)
+    probes = attach_probes(scenario, staleness=False, queues=False)
+    result = run_experiment(config, scenario=scenario)
+    return result, probes.trace.decomposition_means()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=6000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    header = (
+        f"{'t_kv':>7} {'scheme':>10} {'mean':>8} {'select':>8} "
+        f"{'queue':>8} {'service':>8} {'network':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for service_time in SERVICE_TIMES:
+        for scheme in ("clirs", "netrs-ilp"):
+            result, means = breakdown(
+                scheme, service_time, args.requests, args.seed
+            )
+            print(
+                f"{service_time*1e3:6.1f}ms {scheme:>10} "
+                f"{means['total']*1e3:7.3f} {means['selection']*1e3:8.3f} "
+                f"{means['server_queue']*1e3:8.3f} "
+                f"{means['server_service']*1e3:8.3f} "
+                f"{means['network']*1e3:8.3f}"
+            )
+        print()
+
+    result, _ = breakdown("netrs-ilp", 4e-3, args.requests, args.seed)
+    print(
+        "NetRS protocol bandwidth overhead: "
+        f"{result.netrs_overhead_bytes:,} of {result.bytes_transferred:,} "
+        f"bytes ({result.protocol_overhead_fraction()*100:.2f} %)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Where does NetRS pay off?  A utilization x client-count heatmap.
+
+Crosses the two parameters the paper sweeps separately (Figs. 4 and 6) and
+renders the mean-latency reduction of NetRS-ILP over CliRS at every point of
+the operating space.  The structure the paper implies becomes visible in one
+picture: the advantage grows toward the loaded, many-client corner.
+
+Usage::
+
+    python examples/operating_space.py [--requests N]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.grid import format_heatmap, run_grid
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    base = ExperimentConfig.small(seed=args.seed, total_requests=args.requests)
+    print(
+        "Running a 3x3 grid x 2 schemes "
+        f"({args.requests} requests per run, 18 runs)...\n"
+    )
+    grid = run_grid(
+        base,
+        row_parameter="utilization",
+        row_values=[0.3, 0.6, 0.9],
+        column_parameter="n_clients",
+        column_values=[16, 48, 96],
+        schemes=["clirs", "netrs-ilp"],
+    )
+    print(
+        format_heatmap(
+            grid, metric="mean", baseline="clirs", other="netrs-ilp"
+        )
+    )
+    print()
+    print(format_heatmap(grid, metric="p99", baseline="clirs", other="netrs-ilp"))
+    print()
+    print(format_heatmap(grid, metric="mean", scheme="clirs"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's evaluation figures from the command line.
+
+Equivalent to ``netrs figure <id>`` but shown here as library usage: define
+the sweep, run the grid, format the tables, extract machine-readable series.
+
+Usage::
+
+    python examples/paper_figures.py fig4 [--requests N] [--reps R]
+    python examples/paper_figures.py fig6 --profile paper   # full scale!
+"""
+
+import argparse
+
+from repro.experiments import FIGURES, run_figure
+from repro.experiments.tables import (
+    figure_series,
+    format_figure,
+    format_reductions,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=sorted(FIGURES))
+    parser.add_argument("--profile", choices=("small", "paper"), default="small")
+    parser.add_argument("--requests", type=int, default=6000)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    spec = FIGURES[args.figure]
+    print(f"Regenerating {spec.title} (profile={args.profile})...\n")
+    sweep = run_figure(
+        args.figure,
+        profile=args.profile,
+        seed=args.seed,
+        repetitions=args.reps,
+        total_requests=args.requests,
+    )
+    print(format_figure(sweep, title=spec.title))
+    print()
+    print(format_reductions(sweep))
+
+    # The same data, machine-readable (e.g. for plotting):
+    series = figure_series(sweep)
+    print("\np99 series (ms):")
+    for scheme, values in series["p99"].items():
+        formatted = ", ".join(f"{v:.2f}" for v in values)
+        print(f"  {scheme:>10}: [{formatted}]")
+
+
+if __name__ == "__main__":
+    main()

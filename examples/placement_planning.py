@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Exploring the RSNode placement ILP (paper section III).
+
+Builds the placement problem for a scaled data center and shows how the
+Replica Selection Plan reacts to the two knobs system administrators hold:
+
+* the accelerator utilization cap ``U`` (capacity per operator), and
+* the extra-hops budget ``E``.
+
+Tighter hop budgets push RSNodes from core switches down toward pod
+aggregation switches and ultimately the ToRs; tighter capacity forces more
+RSNodes.  The exact ILP is compared against the greedy heuristic throughout.
+
+Usage::
+
+    python examples/placement_planning.py
+"""
+
+from repro.core.placement import solve_greedy, solve_ilp
+from repro.core.placement.problem import (
+    PlacementProblem,
+    build_operator_specs,
+    estimate_traffic,
+)
+from repro.core.plan import make_traffic_groups
+from repro.errors import InfeasiblePlanError
+from repro.experiments import ExperimentConfig, build_scenario
+
+TIER_NAMES = {0: "core", 1: "agg", 2: "tor"}
+
+
+def describe(problem: PlacementProblem, plan) -> str:
+    by_id = {op.operator_id: op for op in problem.operators}
+    tiers = {}
+    for oid in plan.rsnode_ids:
+        tiers[TIER_NAMES[by_id[oid].tier]] = (
+            tiers.get(TIER_NAMES[by_id[oid].tier], 0) + 1
+        )
+    mix = " + ".join(f"{count} {tier}" for tier, count in sorted(tiers.items()))
+    hops = problem.plan_extra_hops(plan.assignments)
+    return (
+        f"{plan.rsnode_count:2d} RSNodes ({mix}); "
+        f"extra hops {hops:,.0f}/s; solved in {plan.solve_time*1e3:.1f} ms"
+    )
+
+
+def main() -> None:
+    config = ExperimentConfig.small(scheme="netrs-ilp", seed=1)
+    scenario = build_scenario(config.replace(total_requests=100))
+    topology = scenario.topology
+    groups = make_traffic_groups(topology, scenario.client_hosts, "rack")
+    rate = config.arrival_rate()
+    group_rates = {
+        g.group_id: rate * len(g.hosts) / config.n_clients for g in groups
+    }
+    traffic = estimate_traffic(
+        groups,
+        topology=topology,
+        server_hosts=scenario.server_hosts,
+        group_rates=group_rates,
+    )
+
+    print(
+        f"{len(groups)} rack-level traffic groups, aggregate rate "
+        f"{rate:,.0f} req/s\n"
+    )
+
+    print("=== sweeping the extra-hops budget E (U fixed at 50%) ===")
+    operators = build_operator_specs(
+        topology,
+        accelerator_cores=config.accelerator_cores,
+        accelerator_service_time=config.accelerator_service_time,
+        max_utilization=0.5,
+    )
+    for fraction in (1.0, 0.4, 0.2, 0.1, 0.05, 0.0):
+        problem = PlacementProblem(
+            groups=groups,
+            operators=operators,
+            traffic=traffic,
+            extra_hops_budget=fraction * rate,
+        )
+        ilp = solve_ilp(problem)
+        try:
+            greedy = solve_greedy(problem)
+            greedy_text = f"greedy: {greedy.rsnode_count} RSNodes"
+        except InfeasiblePlanError:
+            greedy_text = "greedy: infeasible"
+        print(f"E = {fraction:4.2f}*A -> ILP: {describe(problem, ilp)} | {greedy_text}")
+
+    print("\n=== sweeping the accelerator cap U (E fixed at 20% of A) ===")
+    for max_util in (0.9, 0.5, 0.2, 0.1, 0.05):
+        operators = build_operator_specs(
+            topology,
+            accelerator_cores=config.accelerator_cores,
+            accelerator_service_time=config.accelerator_service_time,
+            max_utilization=max_util,
+        )
+        problem = PlacementProblem(
+            groups=groups,
+            operators=operators,
+            traffic=traffic,
+            extra_hops_budget=0.2 * rate,
+        )
+        try:
+            ilp = solve_ilp(problem)
+            print(f"U = {max_util:4.2f} -> ILP: {describe(problem, ilp)}")
+        except InfeasiblePlanError as error:
+            print(f"U = {max_util:4.2f} -> infeasible ({error})")
+
+
+if __name__ == "__main__":
+    main()

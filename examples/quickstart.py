@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: compare client-side vs in-network replica selection.
+
+Runs the same workload (same seed, same deployment, same fluctuations)
+under the paper's four schemes and prints the latency metrics plus the
+reductions NetRS achieves -- a one-minute miniature of the paper's headline
+result.
+
+Usage::
+
+    python examples/quickstart.py [--requests N] [--seed S]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.metrics import METRICS, summary_reduction
+from repro.experiments.tables import SCHEME_LABELS
+
+SCHEMES = ("clirs", "clirs-r95", "netrs-tor", "netrs-ilp")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=8000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print(
+        f"Running {len(SCHEMES)} schemes x {args.requests} requests on an "
+        "8-ary fat-tree (128 hosts, 32 servers, 64 clients)...\n"
+    )
+    summaries = {}
+    for scheme in SCHEMES:
+        config = ExperimentConfig.small(
+            scheme=scheme, seed=args.seed, total_requests=args.requests
+        )
+        result = run_experiment(config)
+        summaries[scheme] = result.summary()
+        extra = ""
+        if config.netrs:
+            extra = f"  (RSNodes: {result.rsnode_count})"
+        if config.redundancy_enabled:
+            extra = f"  (redundant requests: {result.redundant_requests})"
+        label = SCHEME_LABELS[scheme]
+        s = summaries[scheme]
+        print(
+            f"{label:>10}: mean={s['mean']:6.3f} ms  p95={s['p95']:7.3f}  "
+            f"p99={s['p99']:7.3f}  p99.9={s['p999']:7.3f}{extra}"
+        )
+
+    print("\nNetRS-ILP latency reduction vs CliRS:")
+    cuts = summary_reduction(summaries["clirs"], summaries["netrs-ilp"])
+    for metric in METRICS:
+        print(f"  {metric:>5}: {cuts[metric]:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The warm-up transient after deploying a new Replica Selection Plan.
+
+Paper section II: "As the newly introduced RSNodes have to build the view of
+the system status from scratch, the deployment of a new RSP may lead to a
+temporary latency increase."  This example forces a plan change mid-run --
+from the ILP plan onto a single cold core RSNode -- and renders the latency
+timeline around the switch as an ASCII strip chart.
+
+Usage::
+
+    python examples/rsp_deployment_transient.py [--requests N]
+"""
+
+import argparse
+
+from repro.analysis import attach_probes
+from repro.core.plan import SelectionPlan
+from repro.experiments import ExperimentConfig, build_scenario, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=12_000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    config = ExperimentConfig.small(
+        scheme="netrs-ilp",
+        seed=args.seed,
+        total_requests=args.requests,
+        warmup_fraction=0.0,
+    )
+    scenario = build_scenario(config)
+    controller = scenario.controller
+    probes = attach_probes(scenario, staleness=False, queues=False)
+
+    # Build the replacement plan: everything on one (so far unused) core.
+    used = {
+        controller.operators[oid].spec.switch
+        for oid in scenario.plan.rsnode_ids
+    }
+    cold_core = next(
+        op
+        for op in controller.operators.values()
+        if op.spec.tier == 0 and op.spec.switch not in used
+    )
+    new_plan = SelectionPlan(
+        assignments={
+            g.group_id: cold_core.operator_id for g in controller.groups
+        },
+        solver="manual-core",
+    )
+    switch_at = 0.5 * config.total_requests / config.arrival_rate()
+    scenario.env.call_in(switch_at, controller.deploy, new_plan)
+
+    print(
+        f"Initial plan: {scenario.plan.describe()}; switching everything to "
+        f"cold RSNode {cold_core.spec.switch} at t={switch_at*1e3:.0f} ms\n"
+    )
+    run_experiment(config, scenario=scenario)
+
+    bucket = 20e-3
+    timeline = probes.trace.latency_timeline(bucket)
+    # Drop the drain tail: once the workload stops issuing, a bucket holds
+    # only slow stragglers and its mean is not comparable.
+    typical = sorted(count for _, _, count in timeline)[len(timeline) // 2]
+    timeline = [row for row in timeline if row[2] >= typical // 4]
+    peak = max(mean for _, mean, _ in timeline)
+    print(f"mean latency per {bucket*1e3:.0f} ms bucket (# = {peak*1e3/40:.2f} ms):")
+    for start, mean, count in timeline:
+        bar = "#" * max(1, round(40 * mean / peak))
+        marker = "  <-- new RSP deployed" if start <= switch_at < start + bucket else ""
+        print(f"  {start*1e3:7.0f} ms |{bar} {mean*1e3:6.2f} ms  (n={count}){marker}")
+
+    before = [m for t, m, _ in timeline if t < switch_at]
+    after = [m for t, m, _ in timeline if t >= switch_at]
+    if before and after:
+        print(
+            f"\nmean before switch: {sum(before)/len(before)*1e3:.2f} ms | "
+            f"after switch: {sum(after)/len(after)*1e3:.2f} ms"
+        )
+        print(
+            "At this scale the cold-start transient is mild: a fresh C3 "
+            "selector spreads load uniformly until feedback arrives, and "
+            "feedback takes only a few round trips.  The paper's knobs "
+            "(convergence rate, number of new RSNodes, service rate) can "
+            "all be stressed via ExperimentConfig."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""NetRS reproduction: in-network replica selection for key-value stores.
+
+This package reproduces *NetRS: Cutting Response Latency in Distributed
+Key-Value Stores with In-Network Replica Selection* (ICDCS 2018) as a
+discrete-event simulation, including:
+
+* the simulation engine (:mod:`repro.sim`),
+* a fat-tree data-center network with programmable switches and network
+  accelerators (:mod:`repro.network`),
+* a replicated key-value store with fluctuating server performance
+  (:mod:`repro.kvstore`),
+* replica-selection algorithms, C3 foremost (:mod:`repro.selection`),
+* the NetRS controller, operators and ILP-based RSNode placement
+  (:mod:`repro.core`),
+* the experiment harness reproducing the paper's figures
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig.small(scheme="netrs-ilp", seed=1)
+    result = run_experiment(config)
+    print(result.latency.summary())
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    InfeasiblePlanError,
+    PlacementError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "InfeasiblePlanError",
+    "PlacementError",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "TopologyError",
+    "__version__",
+]

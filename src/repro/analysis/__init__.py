@@ -1,0 +1,35 @@
+"""Measurement extensions: request tracing and root-cause analysis.
+
+The paper's section I argues client-side replica selection fails for two
+reasons: (i) *stale local information* -- a client sees too little traffic
+to keep fresh server-state estimates -- and (ii) *herd behavior* -- many
+independent RSNodes simultaneously pick the same momentarily-fast server.
+This subpackage instruments a scenario to measure both directly, plus
+per-request traces and per-server load balance, so the mechanism behind the
+latency reductions (not just the reductions themselves) is reproducible.
+
+* :mod:`~repro.analysis.trace` -- per-request records with CSV/JSONL export,
+* :mod:`~repro.analysis.staleness` -- feedback age observed at selection time,
+* :mod:`~repro.analysis.herd` -- queue-imbalance sampling over time,
+* :mod:`~repro.analysis.loads` -- per-server load shares and fairness,
+* :mod:`~repro.analysis.instrument` -- one-call attachment to a scenario.
+"""
+
+from repro.analysis.herd import HerdSummary, QueueSampler
+from repro.analysis.instrument import AnalysisProbes, attach_probes
+from repro.analysis.loads import jain_fairness, server_load_shares
+from repro.analysis.staleness import InstrumentedSelector, StalenessProbe
+from repro.analysis.trace import RequestRecord, TraceCollector
+
+__all__ = [
+    "AnalysisProbes",
+    "HerdSummary",
+    "InstrumentedSelector",
+    "QueueSampler",
+    "RequestRecord",
+    "StalenessProbe",
+    "TraceCollector",
+    "attach_probes",
+    "jain_fairness",
+    "server_load_shares",
+]

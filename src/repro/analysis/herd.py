@@ -1,0 +1,117 @@
+"""Herd-behavior measurement (the paper's factor (ii)).
+
+"Servers may suffer from load oscillations due to 'herd behavior' (multiple
+RSNodes simultaneously choose the same replica server for requests).  The
+occurrence ... is positively correlated to the number of independent
+RSNodes."
+
+:class:`QueueSampler` snapshots every server's true queue length on a fixed
+period and summarizes the *imbalance over time*: the mean coefficient of
+variation across servers and the fraction of samples where some server's
+queue exceeds a multiple of the instantaneous mean (an "oscillation
+episode").  Fewer RSNodes should yield visibly smoother queues.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kvstore.server import KVServer
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True, slots=True)
+class HerdSummary:
+    """Aggregated queue-imbalance statistics."""
+
+    samples: int
+    mean_queue: float
+    mean_cv: float  # average coefficient of variation across snapshots
+    max_queue: int
+    oscillation_fraction: float  # share of snapshots with a hot outlier
+
+
+class QueueSampler:
+    """Periodic sampler of every server's instantaneous queue size."""
+
+    def __init__(
+        self,
+        env: Environment,
+        servers: Mapping[str, KVServer],
+        *,
+        period: float = 5e-3,
+        hot_multiplier: float = 3.0,
+    ) -> None:
+        if not servers:
+            raise ConfigurationError("QueueSampler needs at least one server")
+        if period <= 0:
+            raise ConfigurationError("sampling period must be positive")
+        if hot_multiplier <= 1:
+            raise ConfigurationError("hot_multiplier must exceed 1")
+        self.env = env
+        self.servers = dict(servers)
+        self.period = period
+        self.hot_multiplier = hot_multiplier
+        self._snapshots: List[List[int]] = []
+        self._names = sorted(self.servers)
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling on the configured period."""
+        if self._running:
+            raise ConfigurationError("sampler already started")
+        self._running = True
+        self.env.call_in(self.period, self._tick)
+
+    def _tick(self) -> None:
+        self._snapshots.append(
+            [self.servers[name].queue_size for name in self._names]
+        )
+        self.env.call_in(self.period, self._tick)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def snapshots(self) -> np.ndarray:
+        """Matrix of samples: rows = snapshots, columns = servers."""
+        if not self._snapshots:
+            return np.zeros((0, len(self._names)))
+        return np.asarray(self._snapshots, dtype=float)
+
+    def per_server_time_series(self) -> Dict[str, np.ndarray]:
+        """Queue-size time series keyed by server name."""
+        matrix = self.snapshots()
+        return {
+            name: matrix[:, i] for i, name in enumerate(self._names)
+        }
+
+    def summary(self) -> HerdSummary:
+        """Imbalance statistics over all snapshots."""
+        matrix = self.snapshots()
+        if matrix.size == 0:
+            return HerdSummary(
+                samples=0,
+                mean_queue=math.nan,
+                mean_cv=math.nan,
+                max_queue=0,
+                oscillation_fraction=math.nan,
+            )
+        means = matrix.mean(axis=1)
+        stds = matrix.std(axis=1)
+        # CV undefined for empty systems; treat all-idle snapshots as 0.
+        cvs = np.where(means > 0, stds / np.maximum(means, 1e-12), 0.0)
+        hot = (matrix.max(axis=1) > self.hot_multiplier * np.maximum(means, 1e-12)) & (
+            matrix.max(axis=1) >= 2
+        )
+        return HerdSummary(
+            samples=matrix.shape[0],
+            mean_queue=float(means.mean()),
+            mean_cv=float(cvs.mean()),
+            max_queue=int(matrix.max()),
+            oscillation_fraction=float(hot.mean()),
+        )

@@ -1,0 +1,88 @@
+"""One-call instrumentation of a built scenario.
+
+Usage::
+
+    scenario = build_scenario(config)
+    probes = attach_probes(scenario)
+    result = run_experiment(config, scenario=scenario)
+    print(probes.staleness.summary())
+    print(probes.queues.summary())
+    probes.trace.write_csv("run.csv")
+
+Attach probes *after* :func:`~repro.experiments.scenarios.build_scenario`
+and *before* running.  Staleness wrapping covers the RSNodes active at
+attach time; if periodic re-planning later activates new operators, their
+fresh selectors are not wrapped (the common benchmarking setup plans once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.herd import QueueSampler
+from repro.analysis.staleness import InstrumentedSelector, StalenessProbe
+from repro.analysis.trace import TraceCollector
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import Scenario
+
+
+@dataclass
+class AnalysisProbes:
+    """Handles to every attached probe (None where not requested)."""
+
+    trace: Optional[TraceCollector]
+    staleness: Optional[StalenessProbe]
+    queues: Optional[QueueSampler]
+
+
+def attach_probes(
+    scenario: Scenario,
+    *,
+    trace: bool = True,
+    staleness: bool = True,
+    queues: bool = True,
+    queue_period: float = 5e-3,
+    trace_capacity: Optional[int] = None,
+) -> AnalysisProbes:
+    """Instrument ``scenario`` and return the probe handles."""
+    if scenario.workload.issued:
+        raise ConfigurationError(
+            "attach probes before the workload starts, not mid-run"
+        )
+    trace_collector: Optional[TraceCollector] = None
+    if trace:
+        trace_collector = TraceCollector(capacity=trace_capacity)
+        for client in scenario.clients:
+            client.trace_sink = trace_collector
+
+    staleness_probe: Optional[StalenessProbe] = None
+    if staleness:
+        staleness_probe = StalenessProbe()
+        clock = lambda: scenario.env.now  # noqa: E731 - tiny closure
+        if scenario.controller is not None:
+            # NetRS: wrap the algorithms of the active in-network RSNodes.
+            for operator in scenario.controller.operators.values():
+                if operator.selector is not None:
+                    operator.selector.algorithm = InstrumentedSelector(
+                        operator.selector.algorithm, staleness_probe, clock
+                    )
+        else:
+            # CliRS: the clients are the RSNodes.
+            for client in scenario.clients:
+                client.selector = InstrumentedSelector(
+                    client.selector, staleness_probe, clock
+                )
+
+    queue_sampler: Optional[QueueSampler] = None
+    if queues:
+        queue_sampler = QueueSampler(
+            scenario.env, scenario.servers, period=queue_period
+        )
+        queue_sampler.start()
+
+    return AnalysisProbes(
+        trace=trace_collector,
+        staleness=staleness_probe,
+        queues=queue_sampler,
+    )

@@ -1,0 +1,31 @@
+"""Per-server load balance helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+
+def server_load_shares(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Normalize per-server request counts to shares summing to 1."""
+    total = sum(counts.values())
+    if total == 0:
+        return {name: math.nan for name in counts}
+    return {name: value / total for name, value in counts.items()}
+
+
+def jain_fairness(counts: Mapping[str, int]) -> float:
+    """Jain's fairness index over per-server loads.
+
+    1.0 means perfectly even; 1/n means one server took everything.  Useful
+    alongside the herd metrics: consistent hashing plus load-aware selection
+    should keep this near 1 even under Zipfian keys.
+    """
+    values = list(counts.values())
+    if not values:
+        return math.nan
+    total = sum(values)
+    if total == 0:
+        return math.nan
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)

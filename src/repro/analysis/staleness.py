@@ -1,0 +1,111 @@
+"""Feedback-staleness measurement (the paper's factor (i)).
+
+"A client is likely to select a poorly-performing server for a request due
+to its inaccurate estimation of server status.  The accuracy of the
+estimation depends on the recency of [the RSNode's] local information."
+
+:class:`StalenessProbe` records, at every selection, how old the selector's
+freshest feedback about each candidate is.  Wrapping the selectors of a
+CliRS scenario vs a NetRS scenario quantifies the recency gap the paper
+argues for: few in-network RSNodes see most traffic, so their information
+is orders of magnitude fresher than any single client's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.network.packet import ServerStatus
+from repro.selection.base import ReplicaSelector
+
+
+class StalenessProbe:
+    """Accumulates feedback-age samples across instrumented selectors."""
+
+    def __init__(self) -> None:
+        self._ages: List[float] = []
+        self.selections_without_any_feedback = 0
+
+    def __len__(self) -> int:
+        return len(self._ages)
+
+    def observe(self, ages: Sequence[float]) -> None:
+        """Record the candidate feedback ages of one selection."""
+        finite = [age for age in ages if math.isfinite(age)]
+        if not finite:
+            self.selections_without_any_feedback += 1
+            return
+        self._ages.extend(finite)
+
+    def mean_age(self) -> float:
+        """Average feedback age at selection time, in seconds."""
+        if not self._ages:
+            return math.nan
+        return sum(self._ages) / len(self._ages)
+
+    def max_age(self) -> float:
+        """Worst feedback age seen."""
+        return max(self._ages) if self._ages else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        """Mean/max age plus the cold-selection count."""
+        return {
+            "mean_age": self.mean_age(),
+            "max_age": self.max_age(),
+            "samples": float(len(self._ages)),
+            "cold_selections": float(self.selections_without_any_feedback),
+        }
+
+
+class InstrumentedSelector(ReplicaSelector):
+    """Transparent wrapper recording feedback ages at selection time.
+
+    Works with any inner selector; age tracking is kept here so baselines
+    without their own feedback timestamps are measurable too.
+    """
+
+    algorithm_name = "instrumented"
+
+    def __init__(
+        self,
+        inner: ReplicaSelector,
+        probe: StalenessProbe,
+        clock: Callable[[], float],
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.probe = probe
+        self._clock = clock
+        self._last_feedback: Dict[str, float] = {}
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        ages = [
+            now - self._last_feedback[server]
+            if server in self._last_feedback
+            else math.inf
+            for server in candidates
+        ]
+        self.probe.observe(ages)
+        self.selections += 1
+        return self.inner.select(candidates, now)
+
+    def note_sent(self, server: str, now: float) -> None:
+        self.inner.note_sent(server, now)
+
+    def note_response(
+        self, server: str, latency: float, status: ServerStatus, now: float
+    ) -> None:
+        self._last_feedback[server] = now
+        self.inner.note_response(server, latency, status, now)
+
+    # Convenience pass-throughs used by tests and the controller.
+    @property
+    def concurrency_weight(self) -> Optional[int]:
+        """Inner selector's herd-extrapolation weight, if it has one."""
+        return getattr(self.inner, "concurrency_weight", None)
+
+    @concurrency_weight.setter
+    def concurrency_weight(self, value: int) -> None:
+        if hasattr(self.inner, "concurrency_weight"):
+            self.inner.concurrency_weight = value

@@ -1,0 +1,206 @@
+"""Per-request tracing with CSV / JSON-lines export.
+
+A :class:`TraceCollector` plugs into clients (see
+:mod:`repro.analysis.instrument`) and records one :class:`RequestRecord`
+per completed request: who issued it, which server answered, through which
+RSNode, and when.  Traces make end-to-end invariants checkable ("every
+NetRS response really traversed its RSNode") and feed offline analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterator, List, Optional
+
+from repro.network.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """One completed request."""
+
+    request_id: int
+    client: str
+    server: str
+    key: int
+    rgid: int
+    rsnode_id: int
+    issued_at: float
+    completed_at: float
+    latency: float
+    hops: int
+    was_redundant_winner: bool
+    recorded: bool  # False for warmup requests
+    # Latency decomposition (seconds); components sum to ``latency``.
+    selection_path_time: float  # issue -> RSNode selection done (0 = client)
+    server_queue_delay: float
+    server_service_time: float
+    network_and_other: float  # remaining propagation / accelerator clones
+
+
+class TraceCollector:
+    """Accumulates request records in completion order."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds memory: oldest records are dropped past it."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._records: List[RequestRecord] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def record_completion(
+        self,
+        response: Packet,
+        *,
+        issued_at: float,
+        completed_at: float,
+        recorded: bool,
+        rgid: int,
+    ) -> None:
+        """Store the completion of a request given its winning response."""
+        latency = completed_at - issued_at
+        selection_path = (
+            response.selected_at - issued_at if response.selected_at > 0 else 0.0
+        )
+        remainder = (
+            latency
+            - selection_path
+            - response.server_queue_delay
+            - response.server_service_time
+        )
+        record = RequestRecord(
+            request_id=response.request_id,
+            client=response.client,
+            server=response.server,
+            key=response.key,
+            rgid=rgid,
+            rsnode_id=response.rsnode_id,
+            issued_at=issued_at,
+            completed_at=completed_at,
+            latency=latency,
+            hops=response.hops,
+            was_redundant_winner=response.is_redundant,
+            recorded=recorded,
+            selection_path_time=selection_path,
+            server_queue_delay=response.server_queue_delay,
+            server_service_time=response.server_service_time,
+            network_and_other=remainder,
+        )
+        self._records.append(record)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[0]
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def per_server_counts(self) -> Dict[str, int]:
+        """Completed requests per serving host."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.server] = counts.get(record.server, 0) + 1
+        return counts
+
+    def per_rsnode_counts(self) -> Dict[int, int]:
+        """Completed requests per RSNode ID (0 = client-side selection)."""
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            counts[record.rsnode_id] = counts.get(record.rsnode_id, 0) + 1
+        return counts
+
+    def latencies(self, *, recorded_only: bool = True) -> List[float]:
+        """Latency samples, optionally excluding warmup requests."""
+        return [
+            r.latency
+            for r in self._records
+            if r.recorded or not recorded_only
+        ]
+
+    def decomposition_means(
+        self, *, recorded_only: bool = True
+    ) -> Dict[str, float]:
+        """Average latency components (seconds); they sum to the mean latency.
+
+        Components: ``selection`` (issue until the RSNode finished choosing,
+        zero under client-side selection), ``server_queue``,
+        ``server_service``, and ``network`` (everything else: propagation
+        hops, and for client-selected requests the path to the server).
+        """
+        records = [r for r in self._records if r.recorded or not recorded_only]
+        n = len(records)
+        if n == 0:
+            return {
+                "selection": float("nan"),
+                "server_queue": float("nan"),
+                "server_service": float("nan"),
+                "network": float("nan"),
+                "total": float("nan"),
+            }
+        return {
+            "selection": sum(r.selection_path_time for r in records) / n,
+            "server_queue": sum(r.server_queue_delay for r in records) / n,
+            "server_service": sum(r.server_service_time for r in records) / n,
+            "network": sum(r.network_and_other for r in records) / n,
+            "total": sum(r.latency for r in records) / n,
+        }
+
+    def latency_timeline(
+        self, bucket: float, *, recorded_only: bool = False
+    ) -> List[tuple]:
+        """Mean latency over time: ``[(bucket_start, mean, count), ...]``.
+
+        Buckets are aligned to completion times.  Useful for observing
+        transients -- e.g. the temporary latency increase after a new RSP
+        deploys with cold RSNodes (paper section II).
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            if recorded_only and not record.recorded:
+                continue
+            index = int(record.completed_at / bucket)
+            sums[index] = sums.get(index, 0.0) + record.latency
+            counts[index] = counts.get(index, 0) + 1
+        return [
+            (index * bucket, sums[index] / counts[index], counts[index])
+            for index in sorted(sums)
+        ]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """The trace as CSV text (header + one row per record)."""
+        output = io.StringIO()
+        names = [f.name for f in fields(RequestRecord)]
+        writer = csv.DictWriter(output, fieldnames=names)
+        writer.writeheader()
+        for record in self._records:
+            writer.writerow(asdict(record))
+        return output.getvalue()
+
+    def to_jsonl(self) -> str:
+        """The trace as JSON lines."""
+        return "\n".join(json.dumps(asdict(r)) for r in self._records)
+
+    def write_csv(self, path: str) -> None:
+        """Write the CSV trace to ``path``."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_csv())

@@ -1,0 +1,345 @@
+"""Command-line interface: ``netrs`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``run``      -- one experiment, printing the latency summary,
+* ``figure``   -- reproduce one of the paper's figures (fig4..fig7),
+* ``compare``  -- all four schemes on one configuration with reductions,
+* ``topology`` -- fat-tree facts for a given arity,
+* ``plan``     -- solve and display an RSNode placement for a config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments.config import SCHEMES, ExperimentConfig
+from repro.experiments.figures import FIGURES, base_config, run_figure
+from repro.experiments.metrics import METRICS
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import build_scenario
+from repro.experiments.sweep import run_sweep
+from repro.experiments.tables import format_figure, format_reductions
+from repro.network.fattree import fat_tree_dimensions
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=("small", "paper"),
+        default="small",
+        help="parameter profile (default: small scale-down)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=0,
+        help="override total request count (0 = profile default)",
+    )
+    parser.add_argument("--clients", type=int, default=0, help="override client count")
+    parser.add_argument("--servers", type=int, default=0, help="override server count")
+    parser.add_argument(
+        "--utilization", type=float, default=0.0, help="override nominal utilization"
+    )
+    parser.add_argument(
+        "--skew", type=float, default=0.0, help="demand skew fraction (0 = none)"
+    )
+
+
+def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig:
+    overrides = {}
+    if args.requests:
+        overrides["total_requests"] = args.requests
+    if args.clients:
+        overrides["n_clients"] = args.clients
+    if args.servers:
+        overrides["n_servers"] = args.servers
+    if args.utilization:
+        overrides["utilization"] = args.utilization
+    if args.skew:
+        overrides["demand_skew"] = args.skew
+    return base_config(args.profile, seed=args.seed, scheme=scheme, **overrides)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args, args.scheme)
+    result = run_experiment(config)
+    print(result.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args, "clirs")
+    sweep = run_sweep(
+        config,
+        parameter="seed",
+        values=[config.seed],
+        schemes=list(args.schemes),
+        repetitions=args.repetitions,
+    )
+    print(format_figure(sweep, title="scheme comparison"))
+    if "clirs" in args.schemes and "netrs-ilp" in args.schemes:
+        print()
+        print(format_reductions(sweep))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.metrics import METRICS
+    from repro.experiments.tables import format_bars, format_markdown_report
+
+    sweep = run_figure(
+        args.figure,
+        profile=args.profile,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        total_requests=args.requests,
+    )
+    title = FIGURES[args.figure].title
+    if args.markdown:
+        print(format_markdown_report(sweep, title=title))
+        return 0
+    print(format_figure(sweep, title=title))
+    print()
+    print(format_reductions(sweep))
+    if args.bars:
+        for metric in METRICS:
+            print()
+            print(format_bars(sweep, metric))
+    return 0
+
+
+def _cmd_factors(args: argparse.Namespace) -> int:
+    from repro.analysis import attach_probes, jain_fairness
+    from repro.experiments.runner import run_experiment as _run
+
+    for scheme in args.schemes:
+        config = _config_from_args(args, scheme)
+        scenario = build_scenario(config)
+        probes = attach_probes(scenario)
+        result = _run(config, scenario=scenario)
+        staleness = probes.staleness.summary()
+        herd = probes.queues.summary()
+        print(f"=== {scheme} ===")
+        print(f"  mean latency: {result.summary()['mean']:.3f} ms")
+        print(
+            f"  feedback age at selection: mean "
+            f"{staleness['mean_age']*1e3:.2f} ms "
+            f"({staleness['cold_selections']:.0f} cold selections)"
+        )
+        print(
+            f"  queue imbalance: CV {herd.mean_cv:.3f}, oscillation in "
+            f"{herd.oscillation_fraction*100:.1f}% of samples"
+        )
+        print(
+            f"  load fairness (Jain): "
+            f"{jain_fairness(probes.trace.per_server_counts()):.4f}"
+        )
+        means = probes.trace.decomposition_means()
+        print(
+            "  latency breakdown (ms): "
+            f"selection {means['selection']*1e3:.3f}, "
+            f"queue {means['server_queue']*1e3:.3f}, "
+            f"service {means['server_service']*1e3:.3f}, "
+            f"network {means['network']*1e3:.3f}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis import attach_probes
+    from repro.experiments.runner import run_experiment as _run
+
+    config = _config_from_args(args, args.scheme)
+    scenario = build_scenario(config)
+    probes = attach_probes(scenario, staleness=False, queues=False)
+    _run(config, scenario=scenario)
+    probes.trace.write_csv(args.output)
+    print(f"wrote {len(probes.trace)} request records to {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_bars
+
+    base = _config_from_args(args, "clirs")
+    field_type = type(getattr(base, args.parameter, 0.0))
+    values = [field_type(v) if field_type in (int, float) else v for v in args.values]
+    sweep = run_sweep(
+        base,
+        parameter=args.parameter,
+        values=values,
+        schemes=list(args.schemes),
+        repetitions=args.repetitions,
+    )
+    print(format_figure(sweep, title=f"sweep of {args.parameter}"))
+    if args.bars:
+        print()
+        print(format_bars(sweep, "mean"))
+    if "clirs" in args.schemes and "netrs-ilp" in args.schemes:
+        print()
+        print(format_reductions(sweep))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import ClaimVerifier, format_claims
+
+    base = _config_from_args(args, "clirs")
+    verifier = ClaimVerifier(base_config=base)
+    checks = verifier.all_claims()
+    print(format_claims(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    dims = fat_tree_dimensions(args.k)
+    print(f"{args.k}-ary fat-tree:")
+    for key, value in dims.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    scheme = args.scheme
+    config = _config_from_args(args, scheme)
+    scenario = build_scenario(config)
+    plan = scenario.plan
+    if plan is None:
+        print("scheme does not use NetRS; no plan to show")
+        return 1
+    from repro.core.placement.report import plan_report
+
+    assert scenario.controller is not None
+    controller = scenario.controller
+    problem = controller.build_problem(controller.measured_traffic())
+    # Before any traffic flows the monitors are empty; report against the
+    # bootstrap estimate the plan was actually solved with.
+    if all(sum(rates) == 0 for rates in problem.traffic.values()):
+        from repro.core.placement.problem import estimate_traffic
+
+        rate = config.arrival_rate()
+        index = {name: i for i, name in enumerate(scenario.client_hosts)}
+        group_rates = {
+            g.group_id: rate
+            * sum(
+                float(scenario.weights.probabilities[index[h]])
+                for h in g.hosts
+            )
+            for g in controller.groups
+        }
+        problem = controller.build_problem(
+            estimate_traffic(
+                controller.groups,
+                topology=scenario.topology,
+                server_hosts=scenario.server_hosts,
+                group_rates=group_rates,
+            )
+        )
+    print(plan_report(problem, plan))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="netrs",
+        description="NetRS reproduction: in-network replica selection",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("scheme", choices=SCHEMES)
+    _add_common_run_options(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare schemes")
+    compare_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["clirs", "clirs-r95", "netrs-tor", "netrs-ilp"],
+        choices=SCHEMES,
+    )
+    compare_parser.add_argument("--repetitions", type=int, default=1)
+    _add_common_run_options(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    figure_parser = sub.add_parser("figure", help="reproduce a paper figure")
+    figure_parser.add_argument("figure", choices=sorted(FIGURES))
+    figure_parser.add_argument("--repetitions", type=int, default=1)
+    figure_parser.add_argument(
+        "--bars", action="store_true", help="also render ASCII bar groups"
+    )
+    figure_parser.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown report instead"
+    )
+    _add_common_run_options(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    factors_parser = sub.add_parser(
+        "factors", help="measure staleness/herding root causes"
+    )
+    factors_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["clirs", "netrs-ilp"],
+        choices=SCHEMES,
+    )
+    _add_common_run_options(factors_parser)
+    factors_parser.set_defaults(func=_cmd_factors)
+
+    trace_parser = sub.add_parser("trace", help="export a per-request CSV trace")
+    trace_parser.add_argument("scheme", choices=SCHEMES)
+    trace_parser.add_argument("--output", default="trace.csv")
+    _add_common_run_options(trace_parser)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="sweep any ExperimentConfig field across schemes"
+    )
+    sweep_parser.add_argument("parameter", help="config field, e.g. utilization")
+    sweep_parser.add_argument("values", nargs="+", help="values to sweep")
+    sweep_parser.add_argument(
+        "--schemes", nargs="+", default=["clirs", "netrs-ilp"], choices=SCHEMES
+    )
+    sweep_parser.add_argument("--repetitions", type=int, default=1)
+    sweep_parser.add_argument("--bars", action="store_true")
+    _add_common_run_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    verify_parser = sub.add_parser(
+        "verify", help="verify the paper's qualitative claims end to end"
+    )
+    _add_common_run_options(verify_parser)
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    topo_parser = sub.add_parser("topology", help="fat-tree dimensions")
+    topo_parser.add_argument("--k", type=int, default=16)
+    topo_parser.set_defaults(func=_cmd_topology)
+
+    plan_parser = sub.add_parser("plan", help="show an RSNode placement")
+    plan_parser.add_argument(
+        "--scheme",
+        default="netrs-ilp",
+        choices=[s for s in SCHEMES if s.startswith("netrs")],
+    )
+    _add_common_run_options(plan_parser)
+    plan_parser.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""NetRS itself: controller, operators, selector, monitor, placement.
+
+This subpackage is the paper's primary contribution: the framework that
+moves replica selection off the clients and into the network.
+
+* :mod:`~repro.core.plan` -- traffic groups and the Replica Selection Plan,
+* :mod:`~repro.core.placement` -- the RSNode placement ILP and alternatives,
+* :mod:`~repro.core.controller` -- plan generation, deployment, DRS,
+* :mod:`~repro.core.operator_node` -- switch+accelerator operator bundles,
+* :mod:`~repro.core.selector_node` -- replica selection on the accelerator,
+* :mod:`~repro.core.monitor` -- per-group traffic statistics on ToR egress.
+"""
+
+from repro.core.controller import NetRSController
+from repro.core.monitor import NetRSMonitor
+from repro.core.operator_node import NetRSOperator
+from repro.core.placement import (
+    SOLVERS,
+    OperatorSpec,
+    PlacementProblem,
+    build_operator_specs,
+    estimate_traffic,
+    solve_core_only,
+    solve_greedy,
+    solve_ilp,
+    solve_tor,
+)
+from repro.core.plan import SelectionPlan, TrafficGroup, make_traffic_groups
+from repro.core.selector_node import NetRSSelector
+
+__all__ = [
+    "NetRSController",
+    "NetRSMonitor",
+    "NetRSOperator",
+    "NetRSSelector",
+    "OperatorSpec",
+    "PlacementProblem",
+    "SOLVERS",
+    "SelectionPlan",
+    "TrafficGroup",
+    "build_operator_specs",
+    "estimate_traffic",
+    "make_traffic_groups",
+    "solve_core_only",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_tor",
+]

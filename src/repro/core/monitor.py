@@ -1,0 +1,77 @@
+"""The NetRS monitor: per-traffic-group tier counters on ToR egress.
+
+Implements paper section IV-D.  The monitor lives in the egress pipeline of
+a ToR switch and counts *responses leaving the network* -- the only packets
+that (a) reflect the replica NetRS actually chose and (b) belong to traffic
+groups of this rack.  Each response is classified by comparing its source
+marker against the ToR's own marker: same rack -> Tier-2, same pod ->
+Tier-1, otherwise Tier-0.  The controller periodically collects these
+counters to build the ILP's traffic matrix ``T``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.network.addressing import SourceMarker, tier_between
+from repro.network.packet import Packet
+from repro.sim.core import Environment
+
+#: Maps a destination host name to its traffic-group ID (None = untracked).
+GroupLookup = Callable[[str], Optional[int]]
+
+
+class NetRSMonitor:
+    """Match-action counters for one ToR switch."""
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        marker: SourceMarker,
+        group_lookup: GroupLookup,
+    ) -> None:
+        self.env = env
+        self.marker = marker
+        self.group_lookup = group_lookup
+        self._counts: Dict[int, List[int]] = {}
+        self.window_started_at = env.now
+        self.observed = 0
+        self.unmatched = 0
+
+    def observe(self, packet: Packet) -> None:
+        """Egress pipeline hook: count one monitor-labeled response."""
+        if packet.source_marker is None:
+            raise ProtocolError(
+                f"monitored response {packet.request_id} has no source marker"
+            )
+        if packet.dst is None:
+            raise ProtocolError("monitored response has no destination")
+        group_id = self.group_lookup(packet.dst)
+        if group_id is None:
+            self.unmatched += 1
+            return
+        tier = tier_between(packet.source_marker, self.marker)
+        counters = self._counts.setdefault(group_id, [0, 0, 0])
+        counters[tier] += 1
+        self.observed += 1
+
+    def counts(self) -> Dict[int, Tuple[int, int, int]]:
+        """Raw per-group counters ``(tier0, tier1, tier2)`` this window."""
+        return {g: (c[0], c[1], c[2]) for g, c in self._counts.items()}
+
+    def rates(self) -> Dict[int, Tuple[float, float, float]]:
+        """Per-group traffic rates in requests/second over the window."""
+        elapsed = self.env.now - self.window_started_at
+        if elapsed <= 0:
+            return {g: (0.0, 0.0, 0.0) for g in self._counts}
+        return {
+            g: (c[0] / elapsed, c[1] / elapsed, c[2] / elapsed)
+            for g, c in self._counts.items()
+        }
+
+    def reset(self) -> None:
+        """Start a fresh measurement window."""
+        self._counts.clear()
+        self.window_started_at = self.env.now

@@ -1,0 +1,40 @@
+"""RSNode placement: problem model plus solver backends.
+
+* :func:`~repro.core.placement.ilp.solve_ilp` -- exact MILP (HiGHS), the
+  paper's NetRS-ILP,
+* :func:`~repro.core.placement.greedy.solve_greedy` -- first-fit heuristic,
+* :func:`~repro.core.placement.trivial.solve_tor` -- the paper's NetRS-ToR,
+* :func:`~repro.core.placement.trivial.solve_core_only` -- ablation endpoint.
+"""
+
+from repro.core.placement.greedy import solve_greedy
+from repro.core.placement.ilp import solve_ilp
+from repro.core.placement.problem import (
+    OperatorSpec,
+    PlacementProblem,
+    build_operator_specs,
+    estimate_traffic,
+)
+from repro.core.placement.report import plan_report
+from repro.core.placement.trivial import solve_core_only, solve_tor
+
+#: Solver registry used by the controller and the CLI.
+SOLVERS = {
+    "ilp": solve_ilp,
+    "greedy": solve_greedy,
+    "tor": solve_tor,
+    "core-only": solve_core_only,
+}
+
+__all__ = [
+    "OperatorSpec",
+    "PlacementProblem",
+    "SOLVERS",
+    "build_operator_specs",
+    "plan_report",
+    "estimate_traffic",
+    "solve_core_only",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_tor",
+]

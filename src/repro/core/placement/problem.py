@@ -1,0 +1,299 @@
+"""The RSNode placement problem (paper section III-B).
+
+Gathers everything the solvers need:
+
+* the traffic groups and their per-tier request rates (the matrix ``T``),
+* the candidate NetRS operators with their capacities (``T_max``),
+* the eligibility matrix ``R`` derived from the topology rules -- a core
+  operator is on the default paths of every group; an aggregation operator
+  only of groups in its pod; a ToR operator only of its own rack's groups,
+* the extra-hops budget ``E``.
+
+Extra-hops accounting implements the paper's Equation (7) with the
+coefficient ``2 (h(i,j) - k)``: the paper prints ``+``, but its own worked
+example (Tier-2 traffic to a core RSNode costs 4 extra hops) matches ``-``;
+tier-``tau`` traffic steered to a tier-``t(j)`` operator detours
+``2 (tau - t(j))`` hops (up and back down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.plan import TrafficGroup
+from repro.network.addressing import TIER_AGG, TIER_CORE, TIER_TOR
+from repro.network.topology import Topology
+
+#: Per-group traffic rates by tier category: (Tier-0, Tier-1, Tier-2) req/s.
+TierTraffic = Tuple[float, float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorSpec:
+    """One candidate NetRS operator (a switch + its accelerator)."""
+
+    operator_id: int
+    switch: str
+    tier: int  # 0 core, 1 aggregation, 2 ToR
+    pod: Optional[int]  # None for core switches
+    capacity: float  # max request rate this operator may serve (T_max_j)
+
+    def __post_init__(self) -> None:
+        if self.operator_id < 1:
+            raise ConfigurationError("operator IDs must be positive integers")
+        if self.capacity <= 0:
+            raise ConfigurationError(f"operator {self.switch} has no capacity")
+
+
+@dataclass
+class PlacementProblem:
+    """Inputs of the ILP: groups, operators, traffic, and the hop budget.
+
+    ``shared_accelerators`` implements the paper's section III-B extension:
+    when one accelerator is wired to several switches, Equation (6) becomes
+    one joint constraint per switch set ``J`` with the shared device's
+    capacity ``T_max_J``.  Operators not in any set keep their individual
+    capacity.
+    """
+
+    groups: List[TrafficGroup]
+    operators: List[OperatorSpec]
+    traffic: Dict[int, TierTraffic]
+    extra_hops_budget: float
+    shared_accelerators: Dict[FrozenSet[int], float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.shared_accelerators is None:
+            self.shared_accelerators = {}
+        if not self.groups:
+            raise ConfigurationError("placement needs at least one group")
+        if not self.operators:
+            raise ConfigurationError("placement needs at least one operator")
+        if self.extra_hops_budget < 0:
+            raise ConfigurationError("extra-hops budget must be non-negative")
+        missing = [g.group_id for g in self.groups if g.group_id not in self.traffic]
+        if missing:
+            raise ConfigurationError(f"no traffic data for groups {missing}")
+        ids = [op.operator_id for op in self.operators]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate operator IDs")
+        known = set(ids)
+        seen: set = set()
+        for members, capacity in self.shared_accelerators.items():
+            if capacity <= 0:
+                raise ConfigurationError("shared-accelerator capacity must be positive")
+            if not members:
+                raise ConfigurationError("shared-accelerator set is empty")
+            unknown = set(members) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"shared-accelerator set references unknown operators {unknown}"
+                )
+            if seen & set(members):
+                raise ConfigurationError(
+                    "an operator appears in two shared-accelerator sets"
+                )
+            seen |= set(members)
+
+    # ------------------------------------------------------------------
+    # Matrix R: eligibility (paper's default-network-path rule)
+    # ------------------------------------------------------------------
+    def eligible(self, group: TrafficGroup, operator: OperatorSpec) -> bool:
+        """Whether ``operator`` lies on default paths of ``group``'s requests."""
+        if operator.tier == TIER_CORE:
+            return True
+        if operator.tier == TIER_AGG:
+            return operator.pod == group.pod
+        if operator.tier == TIER_TOR:
+            return operator.switch == group.tor
+        raise ConfigurationError(f"operator {operator.switch} has bad tier")
+
+    def eligible_operators(self, group: TrafficGroup) -> List[OperatorSpec]:
+        """All operators with ``R[group][operator] = 1``."""
+        return [op for op in self.operators if self.eligible(group, op)]
+
+    # ------------------------------------------------------------------
+    # Loads and hop costs
+    # ------------------------------------------------------------------
+    def group_load(self, group_id: int) -> float:
+        """Total request rate of a group (Equation 6's left-hand side)."""
+        return float(sum(self.traffic[group_id]))
+
+    def total_load(self) -> float:
+        """Aggregate request rate over all groups."""
+        return sum(self.group_load(g.group_id) for g in self.groups)
+
+    def extra_hops_rate(self, group: TrafficGroup, operator: OperatorSpec) -> float:
+        """Extra forwardings per second if ``operator`` serves ``group``.
+
+        Equation (7): ``sum_{k=0}^{h-1} 2 (h - k) T_{i, t(i)-k}`` with
+        ``h = t(i) - t(j)``.  Traffic whose tier category is at or above the
+        operator's tier passes through that tier anyway and costs nothing.
+        """
+        h = group.tier - operator.tier
+        if h <= 0:
+            return 0.0
+        tiers = self.traffic[group.group_id]  # (T0, T1, T2)
+        cost = 0.0
+        for k in range(h):
+            tier_category = group.tier - k  # 2, then 1, ...
+            cost += 2.0 * (h - k) * tiers[tier_category]
+        return cost
+
+    def plan_extra_hops(self, assignments: Dict[int, int]) -> float:
+        """Total extra-hop rate of a complete assignment."""
+        by_id = {op.operator_id: op for op in self.operators}
+        groups = {g.group_id: g for g in self.groups}
+        return sum(
+            self.extra_hops_rate(groups[gid], by_id[oid])
+            for gid, oid in assignments.items()
+        )
+
+    def plan_operator_loads(self, assignments: Dict[int, int]) -> Dict[int, float]:
+        """Request rate each operator would carry under an assignment."""
+        loads: Dict[int, float] = {}
+        for gid, oid in assignments.items():
+            loads[oid] = loads.get(oid, 0.0) + self.group_load(gid)
+        return loads
+
+    def capacity_groups(self) -> List[Tuple[FrozenSet[int], float]]:
+        """Capacity constraints as (operator set, joint capacity) pairs.
+
+        Shared-accelerator sets first, then singletons for every operator
+        not covered by a set.  Every operator appears in exactly one pair.
+        """
+        pairs: List[Tuple[FrozenSet[int], float]] = list(
+            self.shared_accelerators.items()
+        )
+        covered = set()
+        for members, _capacity in pairs:
+            covered |= set(members)
+        for op in self.operators:
+            if op.operator_id not in covered:
+                pairs.append((frozenset({op.operator_id}), op.capacity))
+        return pairs
+
+    def capacity_of_operator(self, operator_id: int) -> float:
+        """The (possibly shared) capacity constraint covering one operator."""
+        for members, capacity in self.shared_accelerators.items():
+            if operator_id in members:
+                return capacity
+        for op in self.operators:
+            if op.operator_id == operator_id:
+                return op.capacity
+        raise ConfigurationError(f"unknown operator {operator_id}")
+
+    def check_assignment(self, assignments: Dict[int, int]) -> None:
+        """Validate a complete assignment against all constraints."""
+        by_id = {op.operator_id: op for op in self.operators}
+        group_by_id = {g.group_id: g for g in self.groups}
+        for gid, oid in assignments.items():
+            if oid not in by_id:
+                raise ConfigurationError(f"assignment uses unknown operator {oid}")
+            if not self.eligible(group_by_id[gid], by_id[oid]):
+                raise ConfigurationError(
+                    f"group {gid} assigned to ineligible operator {oid}"
+                )
+        loads = self.plan_operator_loads(assignments)
+        for members, capacity in self.capacity_groups():
+            joint = sum(loads.get(oid, 0.0) for oid in members)
+            if joint > capacity * (1 + 1e-9) + 1e-6:
+                raise ConfigurationError(
+                    f"accelerator serving operators {sorted(members)} "
+                    f"overloaded: {joint:.1f} > {capacity:.1f} req/s"
+                )
+        extra = self.plan_extra_hops(assignments)
+        if extra > self.extra_hops_budget * (1 + 1e-9) + 1e-6:
+            raise ConfigurationError(
+                f"extra-hop budget exceeded: {extra:.1f} > "
+                f"{self.extra_hops_budget:.1f} hops/s"
+            )
+
+
+def build_operator_specs(
+    topology: Topology,
+    *,
+    accelerator_cores: int,
+    accelerator_service_time: float,
+    max_utilization: float,
+    work_per_request: float = 2.0,
+    first_id: int = 1,
+    utilization_overrides: Optional[Mapping[str, float]] = None,
+) -> List[OperatorSpec]:
+    """One candidate operator per switch, with capacity ``U c / t_ac``.
+
+    ``work_per_request`` accounts for the accelerator touching each request
+    *and* the clone of its response (2 packets per served request); the
+    capacity in requests/second is scaled down accordingly.
+
+    ``utilization_overrides`` maps switch names to a different utilization
+    cap ``U_j`` -- the paper's mechanism for heterogeneous deployments where
+    some accelerators are shared with other applications (lower cap) or
+    dedicated (higher cap).
+    """
+    if not 0 < max_utilization <= 1:
+        raise ConfigurationError("max_utilization must be in (0, 1]")
+    if work_per_request <= 0:
+        raise ConfigurationError("work_per_request must be positive")
+    overrides = dict(utilization_overrides or {})
+    known = {node.name for node in topology.switches}
+    unknown = set(overrides) - known
+    if unknown:
+        raise ConfigurationError(f"utilization overrides for unknown switches {unknown}")
+    specs: List[OperatorSpec] = []
+    next_id = first_id
+    for node in topology.switches:
+        utilization = overrides.get(node.name, max_utilization)
+        if not 0 < utilization <= 1:
+            raise ConfigurationError(
+                f"override for {node.name} must be in (0, 1], got {utilization}"
+            )
+        packet_rate = utilization * accelerator_cores / accelerator_service_time
+        specs.append(
+            OperatorSpec(
+                operator_id=next_id,
+                switch=node.name,
+                tier=node.tier,
+                pod=node.pod,
+                capacity=packet_rate / work_per_request,
+            )
+        )
+        next_id += 1
+    return specs
+
+
+def estimate_traffic(
+    groups: Sequence[TrafficGroup],
+    *,
+    topology: Topology,
+    server_hosts: Sequence[str],
+    group_rates: Dict[int, float],
+) -> Dict[int, TierTraffic]:
+    """Bootstrap traffic matrix before any monitor data exists.
+
+    Load-based selection spreads requests ~uniformly over servers, so each
+    group's tier mix follows the fraction of servers in its rack / pod /
+    elsewhere.
+    """
+    if not server_hosts:
+        raise ConfigurationError("need at least one server host")
+    locations = [topology.node(h) for h in server_hosts]
+    total = len(locations)
+    traffic: Dict[int, TierTraffic] = {}
+    for group in groups:
+        same_rack = sum(
+            1 for n in locations if n.pod == group.pod and n.rack == group.rack
+        )
+        same_pod = (
+            sum(1 for n in locations if n.pod == group.pod) - same_rack
+        )
+        other = total - same_rack - same_pod
+        rate = group_rates.get(group.group_id, 0.0)
+        traffic[group.group_id] = (
+            rate * other / total,
+            rate * same_pod / total,
+            rate * same_rack / total,
+        )
+    return traffic

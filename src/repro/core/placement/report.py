@@ -1,0 +1,62 @@
+"""Human-readable quality report for a Replica Selection Plan."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.placement.problem import PlacementProblem
+from repro.core.plan import SelectionPlan
+
+_TIER_NAMES = {0: "core", 1: "agg", 2: "tor"}
+
+
+def plan_report(problem: PlacementProblem, plan: SelectionPlan) -> str:
+    """Per-RSNode load, capacity headroom and extra-hop costs as a table."""
+    by_id = {op.operator_id: op for op in problem.operators}
+    groups_by_id = {g.group_id: g for g in problem.groups}
+    loads = problem.plan_operator_loads(plan.assignments)
+
+    rows: List[List[str]] = [
+        ["operator", "switch", "tier", "groups", "load/s", "capacity", "util",
+         "extra hops/s"]
+    ]
+    total_hops = 0.0
+    for operator_id in plan.rsnode_ids:
+        spec = by_id[operator_id]
+        assigned = plan.groups_of(operator_id)
+        load = loads.get(operator_id, 0.0)
+        capacity = problem.capacity_of_operator(operator_id)
+        hops = sum(
+            problem.extra_hops_rate(groups_by_id[gid], spec) for gid in assigned
+        )
+        total_hops += hops
+        rows.append(
+            [
+                str(operator_id),
+                spec.switch,
+                _TIER_NAMES.get(spec.tier, str(spec.tier)),
+                str(len(assigned)),
+                f"{load:,.0f}",
+                f"{capacity:,.0f}",
+                f"{load / capacity * 100:.0f}%",
+                f"{hops:,.0f}",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [plan.describe()]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    budget = problem.extra_hops_budget
+    share = f" ({total_hops / budget * 100:.0f}% of budget)" if budget > 0 else ""
+    lines.append(f"total extra hops: {total_hops:,.0f}/s of {budget:,.0f}/s{share}")
+    if plan.drs_groups:
+        degraded_load = sum(
+            problem.group_load(gid)
+            for gid in plan.drs_groups
+            if gid in problem.traffic
+        )
+        lines.append(
+            f"degraded groups: {sorted(plan.drs_groups)} "
+            f"({degraded_load:,.0f} req/s on client backups)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Exception hierarchy shared across the NetRS reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured inconsistently."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed or a lookup failed."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be routed to its destination."""
+
+
+class PlacementError(ReproError):
+    """The RSNode placement problem could not be solved."""
+
+
+class InfeasiblePlanError(PlacementError):
+    """No Replica Selection Plan satisfies the constraints.
+
+    Carries the traffic groups that the solver failed to place so the
+    controller can degrade them (DRS) and retry, as per paper section III-C.
+    """
+
+    def __init__(self, message: str, unplaced_groups: tuple = ()) -> None:
+        super().__init__(message)
+        self.unplaced_groups = tuple(unplaced_groups)
+
+
+class ProtocolError(ReproError):
+    """A packet violated the NetRS wire protocol."""

@@ -1,0 +1,67 @@
+"""Experiment harness reproducing the paper's evaluation (section V).
+
+* :class:`~repro.experiments.config.ExperimentConfig` -- every knob,
+* :func:`~repro.experiments.runner.run_experiment` -- one run,
+* :func:`~repro.experiments.sweep.run_sweep` -- a (value x scheme x seed)
+  grid,
+* :mod:`~repro.experiments.figures` -- canonical Fig. 4-7 definitions,
+* :mod:`~repro.experiments.tables` -- paper-style text rendering.
+"""
+
+from repro.experiments.claims import ClaimCheck, ClaimVerifier, format_claims
+from repro.experiments.config import (
+    NETRS_SCHEMES,
+    SCHEMES,
+    ExperimentConfig,
+)
+from repro.experiments.figures import FIGURES, FigureSpec, base_config, run_figure
+from repro.experiments.metrics import (
+    METRICS,
+    mean_of_summaries,
+    reduction,
+    summary_reduction,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import Scenario, build_scenario
+from repro.experiments.statistics import (
+    Estimate,
+    PairedComparison,
+    mean_and_ci,
+    paired_comparison,
+)
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.tables import (
+    format_figure,
+    format_metric_table,
+    format_reductions,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "ClaimVerifier",
+    "Estimate",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FIGURES",
+    "FigureSpec",
+    "METRICS",
+    "NETRS_SCHEMES",
+    "SCHEMES",
+    "Scenario",
+    "SweepResult",
+    "base_config",
+    "PairedComparison",
+    "build_scenario",
+    "format_claims",
+    "format_figure",
+    "format_metric_table",
+    "format_reductions",
+    "mean_and_ci",
+    "mean_of_summaries",
+    "paired_comparison",
+    "reduction",
+    "run_experiment",
+    "run_figure",
+    "run_sweep",
+    "summary_reduction",
+]

@@ -1,0 +1,203 @@
+"""Codified verification of the paper's qualitative claims.
+
+Turns section V-B's findings into executable checks: each claim runs the
+experiments it needs and returns a structured verdict.  ``netrs verify``
+prints the table; the slow test suite asserts the same shapes.
+
+Claims are *shape-level* (orderings, trends), per DESIGN.md: absolute
+milliseconds are not expected to transfer from the authors' setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import reduction
+from repro.experiments.runner import run_experiment
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimCheck:
+    """Outcome of one claim verification."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    details: str
+
+
+class ClaimVerifier:
+    """Runs and caches the experiments the claims need."""
+
+    def __init__(
+        self,
+        *,
+        base_config: Optional[ExperimentConfig] = None,
+        seed: int = 1,
+        total_requests: int = 20_000,
+    ) -> None:
+        if base_config is None:
+            base_config = ExperimentConfig.small(
+                seed=seed, total_requests=total_requests
+            )
+        self.base = base_config
+        self._cache: Dict[Tuple, Dict[str, float]] = {}
+
+    def summary(self, scheme: str, **overrides) -> Dict[str, float]:
+        """Latency summary (ms) for one configuration, cached."""
+        key = (scheme, tuple(sorted(overrides.items())))
+        if key not in self._cache:
+            config = self.base.replace(scheme=scheme, **overrides)
+            self._cache[key] = run_experiment(config).summary()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # The claims
+    # ------------------------------------------------------------------
+    def claim_ordering(self) -> ClaimCheck:
+        """NetRS-ILP < NetRS-ToR < CliRS on mean and p99 (section V-B i)."""
+        clirs = self.summary("clirs")
+        tor = self.summary("netrs-tor")
+        ilp = self.summary("netrs-ilp")
+        passed = (
+            ilp["mean"] < tor["mean"] < clirs["mean"]
+            and ilp["p99"] < clirs["p99"]
+        )
+        details = (
+            f"mean ms: ILP {ilp['mean']:.2f} < ToR {tor['mean']:.2f} "
+            f"< CliRS {clirs['mean']:.2f}"
+        )
+        return ClaimCheck(
+            "ordering",
+            "NetRS-ILP beats NetRS-ToR beats CliRS",
+            passed,
+            details,
+        )
+
+    def claim_substantial_reduction(self) -> ClaimCheck:
+        """Latency reductions in the tens of percent (paper: up to 48/69%)."""
+        clirs = self.summary("clirs")
+        ilp = self.summary("netrs-ilp")
+        mean_cut = reduction(clirs["mean"], ilp["mean"])
+        p99_cut = reduction(clirs["p99"], ilp["p99"])
+        return ClaimCheck(
+            "reduction",
+            "NetRS-ILP cuts mean and p99 latency substantially",
+            mean_cut > 15 and p99_cut > 15,
+            f"mean -{mean_cut:.1f}%, p99 -{p99_cut:.1f}%",
+        )
+
+    def claim_client_scaling(self) -> ClaimCheck:
+        """Fig. 4: CliRS degrades with client count, NetRS stays flat."""
+        few = max(2, self.base.n_clients // 4)
+        many = self.base.n_clients
+        clirs_growth = (
+            self.summary("clirs", n_clients=many)["mean"]
+            / self.summary("clirs", n_clients=few)["mean"]
+        )
+        ilp_growth = (
+            self.summary("netrs-ilp", n_clients=many)["mean"]
+            / self.summary("netrs-ilp", n_clients=few)["mean"]
+        )
+        return ClaimCheck(
+            "fig4-clients",
+            "more clients hurt CliRS but not NetRS-ILP",
+            clirs_growth > 1.1 and ilp_growth < clirs_growth,
+            f"mean growth {few}->{many} clients: CliRS x{clirs_growth:.2f}, "
+            f"NetRS-ILP x{ilp_growth:.2f}",
+        )
+
+    def claim_skew_narrows_gap(self) -> ClaimCheck:
+        """Fig. 5: demand skew shrinks NetRS's advantage but keeps it positive."""
+        cut_uniform = reduction(
+            self.summary("clirs")["mean"], self.summary("netrs-ilp")["mean"]
+        )
+        cut_skewed = reduction(
+            self.summary("clirs", demand_skew=0.95)["mean"],
+            self.summary("netrs-ilp", demand_skew=0.95)["mean"],
+        )
+        return ClaimCheck(
+            "fig5-skew",
+            "demand skew narrows the NetRS advantage",
+            0 < cut_skewed < cut_uniform,
+            f"mean reduction: uniform {cut_uniform:.1f}%, "
+            f"95% skew {cut_skewed:.1f}%",
+        )
+
+    def claim_utilization_widens_gap(self) -> ClaimCheck:
+        """Fig. 6: NetRS-ILP's advantage grows with system utilization."""
+        cut_low = reduction(
+            self.summary("clirs", utilization=0.3)["mean"],
+            self.summary("netrs-ilp", utilization=0.3)["mean"],
+        )
+        cut_high = reduction(
+            self.summary("clirs", utilization=0.9)["mean"],
+            self.summary("netrs-ilp", utilization=0.9)["mean"],
+        )
+        return ClaimCheck(
+            "fig6-utilization",
+            "high utilization widens the NetRS advantage",
+            cut_high > cut_low,
+            f"mean reduction: 30% util {cut_low:.1f}%, 90% util {cut_high:.1f}%",
+        )
+
+    def claim_redundancy_low_util_only(self) -> ClaimCheck:
+        """Fig. 6: CliRS-R95 helps tails at low utilization only."""
+        gain_low = reduction(
+            self.summary("clirs", utilization=0.3)["p999"],
+            self.summary("clirs-r95", utilization=0.3)["p999"],
+        )
+        gain_high = reduction(
+            self.summary("clirs", utilization=0.9)["p999"],
+            self.summary("clirs-r95", utilization=0.9)["p999"],
+        )
+        return ClaimCheck(
+            "r95-low-util",
+            "redundant requests pay off only at low utilization",
+            gain_low > 0 and gain_high < gain_low,
+            f"p99.9 gain: 30% util {gain_low:.1f}%, 90% util {gain_high:.1f}%",
+        )
+
+    def claim_service_time_interplay(self) -> ClaimCheck:
+        """Fig. 7: small service times shrink the mean-latency advantage."""
+        cut_fast = reduction(
+            self.summary("clirs", mean_service_time=0.1e-3)["mean"],
+            self.summary("netrs-ilp", mean_service_time=0.1e-3)["mean"],
+        )
+        cut_slow = reduction(
+            self.summary("clirs", mean_service_time=4e-3)["mean"],
+            self.summary("netrs-ilp", mean_service_time=4e-3)["mean"],
+        )
+        return ClaimCheck(
+            "fig7-service-time",
+            "small service times erode the mean-latency advantage",
+            cut_slow > cut_fast,
+            f"mean reduction: t_kv=0.1ms {cut_fast:.1f}%, "
+            f"t_kv=4ms {cut_slow:.1f}%",
+        )
+
+    def all_claims(self) -> List[ClaimCheck]:
+        """Run every claim check (order matches the paper's narrative)."""
+        return [
+            self.claim_ordering(),
+            self.claim_substantial_reduction(),
+            self.claim_client_scaling(),
+            self.claim_skew_narrows_gap(),
+            self.claim_utilization_widens_gap(),
+            self.claim_redundancy_low_util_only(),
+            self.claim_service_time_interplay(),
+        ]
+
+
+def format_claims(checks: List[ClaimCheck]) -> str:
+    """Render verdicts as an aligned text table."""
+    width = max(len(c.claim_id) for c in checks)
+    lines = []
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{status}] {check.claim_id.ljust(width)}  {check.details}")
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"{passed}/{len(checks)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Experiment configuration: every knob of the paper's evaluation.
+
+Defaults follow paper section V-A.  Two profiles are provided:
+
+* :meth:`ExperimentConfig.paper` -- the full-scale setup (16-ary fat-tree,
+  1024 hosts, 100 servers, 500 clients, 6 M requests).  Faithful but
+  CPU-expensive in pure Python.
+* :meth:`ExperimentConfig.small` -- the default shape-preserving scale-down
+  (8-ary fat-tree, 128 hosts, 32 servers, 64 clients) used by tests and
+  benchmarks; ratios (utilization, replication, fluctuation, accelerator
+  parameters) are unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: The paper's evaluation schemes plus our ablation extras.
+SCHEMES = (
+    "clirs",
+    "clirs-r95",
+    "netrs-tor",
+    "netrs-ilp",
+    "netrs-greedy",
+    "netrs-core",
+)
+
+#: Schemes where replica selection happens in the network.
+NETRS_SCHEMES = ("netrs-tor", "netrs-ilp", "netrs-greedy", "netrs-core")
+
+#: Maps a NetRS scheme to its placement solver backend.
+SCHEME_SOLVERS = {
+    "netrs-tor": "tor",
+    "netrs-ilp": "ilp",
+    "netrs-greedy": "greedy",
+    "netrs-core": "core-only",
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """All parameters of one simulated experiment."""
+
+    scheme: str = "clirs"
+    seed: int = 0
+    # --- topology ---------------------------------------------------------
+    fat_tree_k: int = 8
+    switch_link_latency: float = 30e-6
+    host_link_latency: float = 30e-6
+    link_bandwidth: Optional[float] = None  # bits/s; None = pure-delay links
+    track_link_stats: bool = False  # per-directed-link byte/packet counters
+    background_traffic_rate: float = 0.0  # packets/s between idle hosts
+    background_packet_size: int = 1024
+    # --- key-value store --------------------------------------------------
+    n_servers: int = 32
+    n_clients: int = 64
+    replication_factor: int = 3
+    virtual_nodes: int = 16
+    parallelism: int = 4  # the paper's Np
+    mean_service_time: float = 4e-3  # the paper's t_kv
+    fluctuation_range: float = 3.0  # the paper's d; 1.0 disables fluctuation
+    fluctuation_interval: float = 50e-3
+    value_size: int = 1024
+    # --- workload ----------------------------------------------------------
+    workload_mode: str = "open"  # "open" (paper) or "closed" (C3-style)
+    closed_window: int = 1  # outstanding requests per client (closed mode)
+    think_time: float = 0.0  # mean think time between requests (closed mode)
+    utilization: float = 0.9  # nominal rho = t_kv * A / (Ns * Np)
+    write_fraction: float = 0.0  # share of requests that are writes
+    write_quorum: Optional[int] = None  # acks to wait for (None = all)
+    total_requests: int = 30_000
+    warmup_fraction: float = 0.1
+    zipf_exponent: float = 0.99
+    key_space: int = 1_000_000
+    demand_skew: Optional[float] = None  # fraction of requests from hot clients
+    hot_fraction: float = 0.2
+    # --- replica selection --------------------------------------------------
+    algorithm: str = "c3"
+    ewma_alpha: float = 0.9
+    # --- NetRS ---------------------------------------------------------------
+    group_granularity: Union[str, int] = "rack"
+    accelerator_cores: int = 1
+    accelerator_service_time: float = 5e-6
+    accelerator_link_delay: float = 1.25e-6  # half the 2.5 us RTT
+    max_accelerator_utilization: float = 0.5  # the paper's U
+    extra_hops_fraction: float = 0.2  # E = fraction * aggregate arrival rate
+    work_per_request: float = 2.0  # request + response clone per served read
+    solver_time_limit: Optional[float] = None
+    replan_period: Optional[float] = None
+    # --- CliRS-R95 -----------------------------------------------------------
+    redundancy_percentile: float = 95.0
+    redundancy_min_samples: int = 30
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def netrs(self) -> bool:
+        """Whether replica selection happens in-network."""
+        return self.scheme in NETRS_SCHEMES
+
+    @property
+    def redundancy_enabled(self) -> bool:
+        """Whether clients duplicate slow requests (CliRS-R95)."""
+        return self.scheme == "clirs-r95"
+
+    @property
+    def solver(self) -> str:
+        """Placement backend for NetRS schemes."""
+        return SCHEME_SOLVERS.get(self.scheme, "ilp")
+
+    def arrival_rate(self) -> float:
+        """Aggregate request rate A, from the nominal utilization.
+
+        The paper defines utilization as ``t_kv * A / (Ns * Np)``.
+        """
+        return (
+            self.utilization
+            * self.n_servers
+            * self.parallelism
+            / self.mean_service_time
+        )
+
+    def effective_utilization(self) -> float:
+        """Rate-averaged utilization under fluctuation: ``2 rho / (1 + d)``."""
+        return 2.0 * self.utilization / (1.0 + self.fluctuation_range)
+
+    def warmup_requests(self) -> int:
+        """Requests excluded from latency statistics."""
+        return int(self.total_requests * self.warmup_fraction)
+
+    def prior_service_rate(self) -> float:
+        """Cold-start service-rate prior for selectors: ``Np / t_kv``."""
+        return self.parallelism / self.mean_service_time
+
+    def extra_hops_budget(self) -> float:
+        """The paper's E: allowed extra forwardings per second."""
+        return self.extra_hops_fraction * self.arrival_rate()
+
+    def total_hosts(self) -> int:
+        """Hosts in the fat-tree."""
+        half = self.fat_tree_k // 2
+        return self.fat_tree_k * half * half
+
+    # ------------------------------------------------------------------
+    # Validation & profiles
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; choose from {SCHEMES}"
+            )
+        if self.fat_tree_k < 2 or self.fat_tree_k % 2:
+            raise ConfigurationError("fat_tree_k must be even and >= 2")
+        if self.n_servers < self.replication_factor:
+            raise ConfigurationError(
+                "need at least replication_factor servers "
+                f"({self.n_servers} < {self.replication_factor})"
+            )
+        if self.n_clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.n_servers + self.n_clients > self.total_hosts():
+            raise ConfigurationError(
+                f"{self.n_servers} servers + {self.n_clients} clients exceed "
+                f"{self.total_hosts()} hosts (one role per host)"
+            )
+        if not 0 < self.utilization:
+            raise ConfigurationError("utilization must be positive")
+        if self.total_requests < 1:
+            raise ConfigurationError("total_requests must be >= 1")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ConfigurationError("warmup_fraction must be in [0, 1)")
+        if self.mean_service_time <= 0:
+            raise ConfigurationError("mean_service_time must be positive")
+        if self.fluctuation_range < 1:
+            raise ConfigurationError("fluctuation_range (d) must be >= 1")
+        if self.demand_skew is not None and not 0 < self.demand_skew < 1:
+            raise ConfigurationError("demand_skew must be in (0, 1)")
+        if self.background_traffic_rate < 0:
+            raise ConfigurationError("background_traffic_rate must be >= 0")
+        if self.background_traffic_rate > 0:
+            idle = self.total_hosts() - self.n_servers - self.n_clients
+            if idle < 2:
+                raise ConfigurationError(
+                    "background traffic needs at least 2 idle hosts"
+                )
+        if not 0 <= self.write_fraction < 1:
+            raise ConfigurationError("write_fraction must be in [0, 1)")
+        if self.write_quorum is not None and not (
+            1 <= self.write_quorum <= self.replication_factor
+        ):
+            raise ConfigurationError(
+                "write_quorum must be in [1, replication_factor]"
+            )
+        if self.workload_mode not in ("open", "closed"):
+            raise ConfigurationError(
+                f"workload_mode must be 'open' or 'closed', got "
+                f"{self.workload_mode!r}"
+            )
+        if self.workload_mode == "closed":
+            if self.write_fraction:
+                raise ConfigurationError(
+                    "mixed read/write workloads are open-loop only"
+                )
+            if self.demand_skew is not None:
+                raise ConfigurationError(
+                    "demand skew is an open-loop concept; closed-loop load "
+                    "is set by closed_window/think_time instead"
+                )
+            if self.closed_window < 1:
+                raise ConfigurationError("closed_window must be >= 1")
+            if self.think_time < 0:
+                raise ConfigurationError("think_time must be non-negative")
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """A copy with the given fields changed (validated)."""
+        config = dataclasses.replace(self, **changes)
+        config.validate()
+        return config
+
+    @classmethod
+    def small(cls, scheme: str = "clirs", seed: int = 0, **overrides) -> "ExperimentConfig":
+        """The scale-down profile used by tests and default benchmarks."""
+        config = cls(scheme=scheme, seed=seed)
+        config = dataclasses.replace(config, **overrides)
+        config.validate()
+        return config
+
+    @classmethod
+    def tiny(cls, scheme: str = "clirs", seed: int = 0, **overrides) -> "ExperimentConfig":
+        """A minimal configuration for fast unit/integration tests."""
+        defaults = dict(
+            fat_tree_k=4,
+            n_servers=6,
+            n_clients=8,
+            total_requests=600,
+            key_space=10_000,
+            virtual_nodes=4,
+            warmup_fraction=0.1,
+        )
+        defaults.update(overrides)
+        config = cls(scheme=scheme, seed=seed)
+        config = dataclasses.replace(config, **defaults)
+        config.validate()
+        return config
+
+    @classmethod
+    def paper(cls, scheme: str = "clirs", seed: int = 0, **overrides) -> "ExperimentConfig":
+        """The paper's full-scale parameters (section V-A)."""
+        defaults = dict(
+            fat_tree_k=16,
+            n_servers=100,
+            n_clients=500,
+            total_requests=6_000_000,
+            key_space=100_000_000,
+            virtual_nodes=16,
+        )
+        defaults.update(overrides)
+        config = cls(scheme=scheme, seed=seed)
+        config = dataclasses.replace(config, **defaults)
+        config.validate()
+        return config

@@ -1,0 +1,162 @@
+"""Run experiments and collect results.
+
+``run_experiment`` builds a scenario, drives the workload to completion,
+and extracts the paper's latency metrics plus system-level accounting
+(RSNode counts, accelerator utilization, redundancy volume, fabric traffic).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenarios import Scenario, build_scenario
+from repro.sim.probes import LatencyRecorder
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    config: ExperimentConfig
+    latency: LatencyRecorder
+    sim_duration: float
+    wall_time: float
+    completed_requests: int
+    # Scheme-level accounting
+    rsnode_count: int = 0
+    drs_group_count: int = 0
+    plan_description: str = ""
+    redundant_requests: int = 0
+    accelerator_max_utilization: float = 0.0
+    selector_requests_handled: int = 0
+    # Fabric accounting
+    transmissions: int = 0
+    bytes_transferred: int = 0
+    netrs_overhead_bytes: int = 0
+    events_executed: int = 0
+
+    write_latency: Optional[LatencyRecorder] = None
+
+    def write_summary(self) -> Optional[Dict[str, float]]:
+        """Write-latency metrics in ms (None for read-only workloads)."""
+        if self.write_latency is None or len(self.write_latency) == 0:
+            return None
+        return {
+            metric: value * 1e3
+            for metric, value in self.write_latency.summary().items()
+        }
+
+    def protocol_overhead_fraction(self) -> float:
+        """Share of all transferred bytes spent on NetRS headers."""
+        if self.bytes_transferred == 0:
+            return 0.0
+        return self.netrs_overhead_bytes / self.bytes_transferred
+
+    def summary(self) -> Dict[str, float]:
+        """The paper's four latency metrics, in **milliseconds**."""
+        raw = self.latency.summary()
+        return {metric: value * 1e3 for metric, value in raw.items()}
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        s = self.summary()
+        lines = [
+            f"scheme={self.config.scheme} seed={self.config.seed} "
+            f"requests={self.completed_requests}",
+            f"latency ms: mean={s['mean']:.3f} p95={s['p95']:.3f} "
+            f"p99={s['p99']:.3f} p999={s['p999']:.3f}",
+            f"sim={self.sim_duration:.2f}s wall={self.wall_time:.2f}s "
+            f"events={self.events_executed}",
+        ]
+        if self.config.netrs:
+            lines.append(
+                f"rsnodes={self.rsnode_count} drs_groups={self.drs_group_count} "
+                f"acc_util_max={self.accelerator_max_utilization:.3f}"
+            )
+        if self.config.redundancy_enabled:
+            lines.append(f"redundant_requests={self.redundant_requests}")
+        return "\n".join(lines)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    scenario: Optional[Scenario] = None,
+    keep_scenario: bool = False,
+) -> ExperimentResult:
+    """Build (or reuse) a scenario, run it to completion, collect metrics.
+
+    Raises :class:`ReproError` if the run does not complete within a generous
+    simulated-time safety horizon (which would indicate a deadlock bug, not a
+    slow system).
+    """
+    if scenario is None:
+        scenario = build_scenario(config)
+    env = scenario.env
+    tracker = scenario.tracker
+    tracker.when_done(env.stop)
+
+    if config.workload_mode == "closed":
+        # Closed-loop throughput is bounded by the per-client cycle time.
+        cycle = 2 * config.mean_service_time + config.think_time + 1e-3
+        concurrency = max(1, config.n_clients * config.closed_window)
+        expected_duration = config.total_requests * cycle / concurrency
+        safety_horizon = env.now + expected_duration * 10 + 10.0
+    else:
+        expected_duration = config.total_requests / config.arrival_rate()
+        safety_horizon = env.now + expected_duration * 5 + 10.0
+
+    started_wall = time.perf_counter()
+    if scenario.background is not None:
+        scenario.background.start()
+    scenario.workload.start()
+    env.run(until=safety_horizon)
+    wall_time = time.perf_counter() - started_wall
+
+    if tracker.completed < tracker.expected:
+        raise ReproError(
+            f"run stalled: {tracker.completed}/{tracker.expected} requests "
+            f"completed within the safety horizon ({safety_horizon:.1f}s sim)"
+        )
+    if len(scenario.recorder) == 0:
+        raise ReproError("no latency samples were recorded")
+    for sample in (scenario.recorder.mean(),):
+        if math.isnan(sample):
+            raise ReproError("latency statistics are NaN")
+
+    result = ExperimentResult(
+        config=config,
+        latency=scenario.recorder,
+        sim_duration=env.now,
+        wall_time=wall_time,
+        completed_requests=tracker.completed,
+        transmissions=scenario.network.transmissions,
+        bytes_transferred=scenario.network.bytes_transferred,
+        netrs_overhead_bytes=scenario.network.netrs_overhead_bytes,
+        events_executed=env.events_executed,
+        write_latency=scenario.write_recorder,
+        redundant_requests=sum(c.redundant_sent for c in scenario.clients),
+    )
+    if scenario.plan is not None:
+        result.rsnode_count = scenario.plan.rsnode_count
+        result.drs_group_count = len(scenario.plan.drs_groups)
+        result.plan_description = scenario.plan.describe()
+    accelerators = scenario.accelerators()
+    if accelerators:
+        result.accelerator_max_utilization = max(
+            acc.utilization() for acc in accelerators
+        )
+    if scenario.controller is not None:
+        result.selector_requests_handled = sum(
+            op.selector.requests_handled
+            for op in scenario.controller.operators.values()
+            if op.selector is not None
+        )
+    if keep_scenario:
+        result.scenario = scenario  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,106 @@
+"""Statistical helpers for repeated experiments.
+
+The paper repeats each experiment over 3 random deployments; drawing
+conclusions from so few repetitions needs confidence intervals, and
+scheme-vs-scheme claims should use *paired* differences (both schemes run on
+identical deployments per seed, so pairing removes deployment variance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """A mean with a symmetric confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {self.half_width:.2g}"
+
+
+def mean_and_ci(samples: Sequence[float], confidence: float = 0.95) -> Estimate:
+    """Sample mean with a Student-t confidence interval.
+
+    With one sample the half-width is infinite (honest, if unhelpful).
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return Estimate(mean=mean, half_width=math.inf, confidence=confidence, samples=1)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    if variance == 0:
+        return Estimate(mean=mean, half_width=0.0, confidence=confidence, samples=n)
+    t_value = stats.t.ppf(0.5 + confidence / 2, df=n - 1)
+    half_width = t_value * math.sqrt(variance / n)
+    return Estimate(mean=mean, half_width=half_width, confidence=confidence, samples=n)
+
+
+@dataclass(frozen=True, slots=True)
+class PairedComparison:
+    """Outcome of a paired scheme comparison (baseline minus other)."""
+
+    mean_difference: float
+    difference_ci: Estimate
+    p_value: float
+    significant: bool
+
+    @property
+    def other_is_faster(self) -> bool:
+        """Whether the non-baseline scheme had lower latency on average."""
+        return self.mean_difference > 0
+
+
+def paired_comparison(
+    baseline: Sequence[float],
+    other: Sequence[float],
+    *,
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired t-test of per-seed latencies: is ``other`` really different?
+
+    ``baseline[i]`` and ``other[i]`` must come from the same seed (identical
+    deployment, fluctuations and workload).
+    """
+    if len(baseline) != len(other):
+        raise ConfigurationError("paired comparison needs equal-length samples")
+    if len(baseline) < 2:
+        raise ConfigurationError("paired comparison needs at least 2 pairs")
+    differences = [b - o for b, o in zip(baseline, other)]
+    estimate = mean_and_ci(differences, confidence)
+    if all(d == differences[0] for d in differences):
+        p_value = 0.0 if differences[0] != 0 else 1.0
+    else:
+        _statistic, p_value = stats.ttest_rel(baseline, other)
+        p_value = float(p_value)
+    return PairedComparison(
+        mean_difference=estimate.mean,
+        difference_ci=estimate,
+        p_value=p_value,
+        significant=p_value < (1 - confidence),
+    )

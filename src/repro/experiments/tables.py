@@ -1,0 +1,158 @@
+"""Render sweep results as the paper's figures, in text form.
+
+Each of Figs. 4-7 is four bar groups (Avg / 95th / 99th / 99.9th latency)
+over the swept parameter with one bar per scheme; here that becomes four
+aligned text tables, one per metric, with schemes as columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.metrics import METRIC_LABELS, METRICS, summary_reduction
+from repro.experiments.sweep import SweepResult
+
+#: Paper display names for schemes.
+SCHEME_LABELS = {
+    "clirs": "CliRS",
+    "clirs-r95": "CliRS-R95",
+    "netrs-tor": "NetRS-ToR",
+    "netrs-ilp": "NetRS-ILP",
+    "netrs-greedy": "NetRS-Greedy",
+    "netrs-core": "NetRS-Core",
+}
+
+
+def format_metric_table(
+    sweep: SweepResult, metric: str, *, title: str = ""
+) -> str:
+    """One metric across the sweep: rows = parameter values, cols = schemes."""
+    header_cells = [sweep.parameter] + [
+        SCHEME_LABELS.get(s, s) for s in sweep.schemes
+    ]
+    rows: List[List[str]] = [header_cells]
+    for value in sweep.values:
+        row = [str(value)]
+        for scheme in sweep.schemes:
+            row.append(f"{sweep.summary(value, scheme)[metric]:.3f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header_cells))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"-- {METRIC_LABELS[metric]} latency (ms) --")
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_figure(sweep: SweepResult, *, title: str) -> str:
+    """The full four-panel figure as stacked text tables."""
+    blocks = [title]
+    for metric in METRICS:
+        blocks.append(format_metric_table(sweep, metric))
+    return "\n\n".join(blocks)
+
+
+def format_reductions(
+    sweep: SweepResult,
+    *,
+    baseline: str = "clirs",
+    target: str = "netrs-ilp",
+) -> str:
+    """Per-value latency reductions of ``target`` vs ``baseline`` (percent)."""
+    lines = [
+        f"latency reduction of {SCHEME_LABELS.get(target, target)} vs "
+        f"{SCHEME_LABELS.get(baseline, baseline)} (%)"
+    ]
+    header = [sweep.parameter] + list(METRICS)
+    rows = [header]
+    for value in sweep.values:
+        reductions = summary_reduction(
+            sweep.summary(value, baseline), sweep.summary(value, target)
+        )
+        rows.append(
+            [str(value)] + [f"{reductions[m]:.1f}" for m in METRICS]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for row in rows:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bars(sweep: SweepResult, metric: str, *, width: int = 46) -> str:
+    """Horizontal ASCII bars, one group per swept value (figure-like view).
+
+    Bars are scaled to the largest value of the metric across the grid, so
+    scheme-to-scheme and value-to-value comparisons are both visible.
+    """
+    peak = max(
+        sweep.summary(value, scheme)[metric]
+        for value in sweep.values
+        for scheme in sweep.schemes
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        len(SCHEME_LABELS.get(scheme, scheme)) for scheme in sweep.schemes
+    )
+    lines = [f"-- {METRIC_LABELS[metric]} latency (ms) --"]
+    for value in sweep.values:
+        lines.append(f"{sweep.parameter} = {value}")
+        for scheme in sweep.schemes:
+            number = sweep.summary(value, scheme)[metric]
+            bar = "#" * max(1, round(width * number / peak))
+            label = SCHEME_LABELS.get(scheme, scheme).rjust(label_width)
+            lines.append(f"  {label} |{bar} {number:.3f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def format_markdown_report(sweep: SweepResult, *, title: str) -> str:
+    """The whole figure as a Markdown document (tables + reductions).
+
+    Suitable for pasting into EXPERIMENTS.md-style records.
+    """
+    lines = [f"## {title}", ""]
+    header = (
+        f"| {sweep.parameter} | "
+        + " | ".join(
+            f"{SCHEME_LABELS.get(s, s)} {METRIC_LABELS[m]}"
+            for m in METRICS
+            for s in sweep.schemes
+        )
+        + " |"
+    )
+    separator = "|" + "---|" * (1 + len(METRICS) * len(sweep.schemes))
+    lines.extend([header, separator])
+    for value in sweep.values:
+        cells = [str(value)]
+        for metric in METRICS:
+            for scheme in sweep.schemes:
+                cells.append(f"{sweep.summary(value, scheme)[metric]:.3f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    if "clirs" in sweep.schemes and "netrs-ilp" in sweep.schemes:
+        lines.extend(["", "### Reductions (NetRS-ILP vs CliRS, %)", ""])
+        lines.append("| " + sweep.parameter + " | " + " | ".join(METRICS) + " |")
+        lines.append("|" + "---|" * (1 + len(METRICS)))
+        for value in sweep.values:
+            cuts = summary_reduction(
+                sweep.summary(value, "clirs"), sweep.summary(value, "netrs-ilp")
+            )
+            lines.append(
+                f"| {value} | "
+                + " | ".join(f"{cuts[m]:.1f}" for m in METRICS)
+                + " |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def figure_series(sweep: SweepResult) -> Dict[str, Dict[str, List[float]]]:
+    """Machine-readable figure data: metric -> scheme -> series."""
+    return {
+        metric: {scheme: sweep.series(scheme, metric) for scheme in sweep.schemes}
+        for metric in METRICS
+    }

@@ -1,0 +1,31 @@
+"""Distributed key-value store substrate.
+
+Models the Cassandra/Dynamo-style store the paper targets: data replicated
+over ``Ns`` servers by consistent hashing (replication factor 3), servers
+processing ``Np`` requests in parallel with exponentially distributed service
+times whose mean fluctuates bimodally, and open-loop clients issuing
+read requests with Zipfian key popularity.
+"""
+
+from repro.kvstore.client import CompletionTracker, KVClient, RedundancyPolicy
+from repro.kvstore.fluctuation import BimodalFluctuation, StableService
+from repro.kvstore.hashing import ConsistentHashRing
+from repro.kvstore.server import KVServer
+from repro.kvstore.workload import (
+    DemandWeights,
+    OpenLoopWorkload,
+    ZipfSampler,
+)
+
+__all__ = [
+    "BimodalFluctuation",
+    "CompletionTracker",
+    "ConsistentHashRing",
+    "DemandWeights",
+    "KVClient",
+    "KVServer",
+    "OpenLoopWorkload",
+    "RedundancyPolicy",
+    "StableService",
+    "ZipfSampler",
+]

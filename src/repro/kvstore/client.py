@@ -1,0 +1,364 @@
+"""Key-value clients: request issuing, feedback, and redundant requests.
+
+A client is an end-host endpoint that turns workload arrivals into request
+packets and records response latencies.  Depending on the scheme it either
+
+* **selects the replica itself** (CliRS: the client is the RSNode, running a
+  replica-selection algorithm over its locally observed feedback), or
+* **delegates to NetRS** (sends a NetRS request carrying the RGID plus a
+  client-chosen *backup replica* used if the network degrades the request).
+
+The optional :class:`RedundancyPolicy` reproduces CliRS-R95 (section V-A): if
+a primary request is outstanding longer than the client's 95th-percentile
+expected latency, a redundant copy goes to a different replica and the first
+response wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kvstore.hashing import ConsistentHashRing
+from repro.network.host import Host
+from repro.network.packet import Packet, make_request
+from repro.selection.base import ReplicaSelector
+from repro.sim.core import Environment
+from repro.sim.probes import LatencyRecorder
+
+#: Shared generator of globally unique request IDs.
+_request_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class RedundancyPolicy:
+    """CliRS-R95 parameters.
+
+    ``percentile`` is the outstanding-time threshold (the paper uses the
+    95th); ``min_samples`` delays redundancy until the client has enough
+    history for a stable estimate; ``fallback_multiplier`` times the mean
+    issues the threshold before that.
+    """
+
+    percentile: float = 95.0
+    min_samples: int = 30
+    fallback_multiplier: float = 3.0
+
+
+@dataclass(slots=True)
+class _Outstanding:
+    key: int
+    rgid: int
+    replicas: Tuple[str, ...]
+    issued_at: float
+    record: bool
+    primary_target: str  # "" when NetRS selects in-network
+    done: bool = False
+    timer: object = None
+    duplicates_sent: int = 0
+    is_write: bool = False
+    acks_needed: int = 1
+    acks_received: int = 0
+    copies_sent: int = 1
+
+
+class CompletionTracker:
+    """Counts first responses so the runner knows when the run is over."""
+
+    def __init__(self, expected: int) -> None:
+        if expected < 1:
+            raise ConfigurationError("expected completions must be >= 1")
+        self.expected = expected
+        self.completed = 0
+        self._callbacks: List[Callable[[], None]] = []
+
+    def when_done(self, callback: Callable[[], None]) -> None:
+        """Register a callback for the moment the last request completes."""
+        self._callbacks.append(callback)
+
+    def complete(self) -> None:
+        """Record one request completion."""
+        self.completed += 1
+        if self.completed == self.expected:
+            for callback in self._callbacks:
+                callback()
+
+
+class KVClient:
+    """One client endpoint of the key-value store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        host: Host,
+        *,
+        ring: ConsistentHashRing,
+        selector: ReplicaSelector,
+        recorder: LatencyRecorder,
+        tracker: Optional[CompletionTracker] = None,
+        netrs: bool = False,
+        redundancy: Optional[RedundancyPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        write_recorder: Optional[LatencyRecorder] = None,
+        write_quorum: Optional[int] = None,
+    ) -> None:
+        if redundancy is not None and netrs:
+            raise ConfigurationError(
+                "redundant requests are a client-side scheme (CliRS-R95); "
+                "combine them with netrs=False"
+            )
+        self.env = env
+        self.host = host
+        self.name = host.name
+        self.ring = ring
+        self.selector = selector
+        self.recorder = recorder
+        self.tracker = tracker
+        self.netrs = netrs
+        self.redundancy = redundancy
+        self._rng = rng
+        self.write_recorder = write_recorder
+        if write_quorum is not None and write_quorum < 1:
+            raise ConfigurationError("write_quorum must be >= 1")
+        self.write_quorum = write_quorum
+        self._outstanding: Dict[int, _Outstanding] = {}
+        # Client-local latency history for the R95 threshold.  The threshold
+        # is cached and refreshed periodically so issuing stays O(1).
+        self._history = LatencyRecorder()
+        self._cached_threshold: Optional[float] = None
+        self._samples_since_refresh = 0
+        # Optional per-request trace sink (see repro.analysis.trace); set by
+        # analysis instrumentation, never by normal experiment wiring.
+        self.trace_sink = None
+        # Optional completion hook (closed-loop workloads issue the next
+        # request from here).  Called with this client after each first
+        # response, before the tracker is notified.
+        self.on_complete = None
+        # Accounting
+        self.requests_sent = 0
+        self.redundant_sent = 0
+        self.responses_received = 0
+        self.late_responses = 0
+        host.bind(self)
+
+    # ------------------------------------------------------------------
+    # Issuing
+    # ------------------------------------------------------------------
+    def issue(self, key: int, record: bool = True) -> int:
+        """Issue one read request for ``key``; returns the request ID."""
+        rgid, replicas = self.ring.group_for_key(key)
+        request_id = next(_request_ids)
+        now = self.env.now
+        if self.netrs:
+            # The client only supplies the backup replica; the in-network
+            # RSNode makes the real choice.
+            backup = self.selector.select(replicas, now)
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=key,
+                rgid=rgid,
+                backup_replica=backup,
+                issued_at=now,
+                netrs=True,
+            )
+            primary_target = ""
+        else:
+            target = self.selector.select(replicas, now)
+            self.selector.note_sent(target, now)
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=key,
+                rgid=rgid,
+                backup_replica=target,
+                issued_at=now,
+                netrs=False,
+                dst=target,
+            )
+            primary_target = target
+        entry = _Outstanding(
+            key=key,
+            rgid=rgid,
+            replicas=replicas,
+            issued_at=now,
+            record=record,
+            primary_target=primary_target,
+        )
+        self._outstanding[request_id] = entry
+        self.requests_sent += 1
+        self.host.send(packet)
+        if self.redundancy is not None:
+            delay = self._redundancy_threshold()
+            entry.timer = self.env.call_in(
+                delay, self._fire_redundant, request_id
+            )
+        return request_id
+
+    def issue_write(self, key: int, record: bool = True) -> int:
+        """Issue one replicated write for ``key``.
+
+        Writes bypass replica selection entirely (NetRS is a read-path
+        mechanism): the client fans the write out to every replica of the
+        key and completes when ``write_quorum`` acknowledgements arrive
+        (default: all replicas).  Write latencies land in
+        ``write_recorder`` when one is configured.
+        """
+        rgid, replicas = self.ring.group_for_key(key)
+        quorum = self.write_quorum or len(replicas)
+        if quorum > len(replicas):
+            raise ConfigurationError(
+                f"write quorum {quorum} exceeds replication factor "
+                f"{len(replicas)}"
+            )
+        request_id = next(_request_ids)
+        now = self.env.now
+        entry = _Outstanding(
+            key=key,
+            rgid=rgid,
+            replicas=replicas,
+            issued_at=now,
+            record=record,
+            primary_target=replicas[0],
+            is_write=True,
+            acks_needed=quorum,
+            copies_sent=len(replicas),
+        )
+        self._outstanding[request_id] = entry
+        for replica in replicas:
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=key,
+                rgid=rgid,
+                backup_replica=replica,
+                issued_at=now,
+                netrs=False,
+                dst=replica,
+            )
+            packet.is_write = True
+            self.selector.note_sent(replica, now)
+            self.requests_sent += 1
+            self.host.send(packet)
+        return request_id
+
+    def _handle_write_ack(self, packet: Packet, entry: _Outstanding) -> None:
+        entry.acks_received += 1
+        if entry.acks_received == entry.acks_needed:
+            entry.done = True
+            latency = self.env.now - entry.issued_at
+            if entry.record and self.write_recorder is not None:
+                self.write_recorder.add(latency)
+            if self.trace_sink is not None:
+                self.trace_sink.record_completion(
+                    packet,
+                    issued_at=entry.issued_at,
+                    completed_at=self.env.now,
+                    recorded=entry.record,
+                    rgid=entry.rgid,
+                )
+            if self.on_complete is not None:
+                self.on_complete(self)
+            if self.tracker is not None:
+                self.tracker.complete()
+        elif entry.acks_received > entry.acks_needed:
+            self.late_responses += 1
+        if entry.acks_received >= entry.copies_sent:
+            self._outstanding.pop(packet.request_id, None)
+
+    def _redundancy_threshold(self) -> float:
+        policy = self.redundancy
+        assert policy is not None
+        if len(self._history) >= policy.min_samples:
+            if self._cached_threshold is None or self._samples_since_refresh >= 25:
+                self._cached_threshold = self._history.percentile(policy.percentile)
+                self._samples_since_refresh = 0
+            return self._cached_threshold
+        mean = self._history.mean()
+        if math.isnan(mean):
+            # No history at all yet: be generous so cold starts do not flood
+            # the servers with duplicates.
+            return policy.fallback_multiplier * 10e-3
+        return policy.fallback_multiplier * mean
+
+    def _fire_redundant(self, request_id: int) -> None:
+        entry = self._outstanding.get(request_id)
+        if entry is None or entry.done:
+            return
+        others = [r for r in entry.replicas if r != entry.primary_target]
+        if not others:
+            return
+        if self._rng is not None and len(others) > 1:
+            target = others[int(self._rng.integers(len(others)))]
+        else:
+            target = others[0]
+        self.selector.note_sent(target, self.env.now)
+        duplicate = make_request(
+            client=self.name,
+            request_id=request_id,
+            key=entry.key,
+            rgid=entry.rgid,
+            backup_replica=target,
+            issued_at=entry.issued_at,
+            netrs=False,
+            dst=target,
+        )
+        duplicate.is_redundant = True
+        entry.duplicates_sent += 1
+        self.redundant_sent += 1
+        self.host.send(duplicate)
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        """Endpoint callback: fold a response into state and metrics."""
+        self.responses_received += 1
+        now = self.env.now
+        status = packet.server_status
+        entry = self._outstanding.get(packet.request_id)
+        # Feedback always updates the local selector: in CliRS this is the
+        # decision input, in NetRS it keeps the backup choice fresh.
+        if status is not None and entry is not None:
+            self.selector.note_response(
+                packet.server, now - entry.issued_at, status, now
+            )
+        if entry is not None and entry.is_write:
+            self._handle_write_ack(packet, entry)
+            return
+        if entry is None or entry.done:
+            self.late_responses += 1
+            if entry is not None:
+                # The losing copy of a duplicated request: all responses are
+                # now in, so the entry can be dropped.
+                self._outstanding.pop(packet.request_id, None)
+            return
+        entry.done = True
+        latency = now - entry.issued_at
+        self._history.add(latency)
+        self._samples_since_refresh += 1
+        if self.trace_sink is not None:
+            self.trace_sink.record_completion(
+                packet,
+                issued_at=entry.issued_at,
+                completed_at=now,
+                recorded=entry.record,
+                rgid=entry.rgid,
+            )
+        if entry.record:
+            self.recorder.add(latency)
+        if entry.timer is not None:
+            entry.timer.cancel()  # type: ignore[attr-defined]
+        # Keep duplicates findable until their responses arrive, but free
+        # completed singletons immediately to bound memory.
+        if entry.duplicates_sent == 0:
+            del self._outstanding[packet.request_id]
+        if self.on_complete is not None:
+            self.on_complete(self)
+        if self.tracker is not None:
+            self.tracker.complete()

@@ -1,0 +1,130 @@
+"""Key-value server: Np-parallel queue with fluctuating exponential service.
+
+A server processes up to ``parallelism`` requests concurrently (paper:
+``Np = 4``); excess requests wait in FIFO order.  Each request's service time
+is exponential with the *current* fluctuating mean.  Every response
+piggybacks a :class:`~repro.network.packet.ServerStatus` -- the queue size at
+departure and the server's EWMA service-rate estimate -- which is the
+feedback channel C3-style selectors rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Protocol, Tuple
+
+import numpy as np
+
+from repro.network.host import Host
+from repro.network.packet import Packet, ServerStatus, make_response
+from repro.sim.core import Environment
+
+
+class ServiceModel(Protocol):
+    """Provides the time-varying mean service time."""
+
+    @property
+    def current_mean(self) -> float:
+        """Mean service time right now."""
+        ...  # pragma: no cover - protocol definition
+
+    def start(self, env: Environment) -> None:
+        """Begin any time-varying behaviour."""
+        ...  # pragma: no cover - protocol definition
+
+
+class KVServer:
+    """One replica server of the key-value store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        host: Host,
+        *,
+        service_model: ServiceModel,
+        parallelism: int = 4,
+        rng: np.random.Generator,
+        value_size: int = 1024,
+        rate_ewma_alpha: float = 0.9,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        if not 0 <= rate_ewma_alpha < 1:
+            raise ValueError("rate_ewma_alpha must be in [0, 1)")
+        self.env = env
+        self.host = host
+        self.name = host.name
+        self.service_model = service_model
+        self.parallelism = parallelism
+        self.value_size = value_size
+        self._rng = rng
+        self._alpha = rate_ewma_alpha
+        self._waiting: Deque[Tuple[Packet, float]] = deque()
+        self._in_service = 0
+        # EWMA of observed service durations seeds at the nominal mean so the
+        # first piggybacked rates are sane.
+        self._ewma_service_time = service_model.current_mean
+        # Accounting
+        self.completions = 0
+        self.arrivals = 0
+        self.max_queue_seen = 0
+        host.bind(self)
+        service_model.start(env)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_size(self) -> int:
+        """Pending requests: waiting plus in service (what C3 piggybacks)."""
+        return len(self._waiting) + self._in_service
+
+    @property
+    def service_rate_estimate(self) -> float:
+        """EWMA-based aggregate drain rate (requests/second)."""
+        return self.parallelism / self._ewma_service_time
+
+    def status(self) -> ServerStatus:
+        """Snapshot the piggybacked status segment."""
+        return ServerStatus(
+            queue_size=self.queue_size,
+            service_rate=self.service_rate_estimate,
+            timestamp=self.env.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        """Endpoint callback: accept a read request."""
+        self.arrivals += 1
+        if self.queue_size + 1 > self.max_queue_seen:
+            self.max_queue_seen = self.queue_size + 1
+        if self._in_service < self.parallelism:
+            self._begin_service(packet, arrived_at=self.env.now)
+        else:
+            self._waiting.append((packet, self.env.now))
+
+    def _begin_service(self, packet: Packet, arrived_at: float) -> None:
+        self._in_service += 1
+        duration = self._rng.exponential(self.service_model.current_mean)
+        packet.server_queue_delay = self.env.now - arrived_at
+        packet.server_service_time = duration
+        self.env.call_in(duration, self._complete, packet, duration)
+
+    def _complete(self, packet: Packet, duration: float) -> None:
+        self._in_service -= 1
+        self.completions += 1
+        self._ewma_service_time = (
+            self._alpha * self._ewma_service_time + (1 - self._alpha) * duration
+        )
+        response = make_response(
+            packet,
+            server=self.name,
+            status=self.status(),
+            value_size=self.value_size,
+        )
+        self.host.send(response)
+        if self._waiting:
+            next_packet, arrived_at = self._waiting.popleft()
+            self._begin_service(next_packet, arrived_at)

@@ -1,0 +1,159 @@
+"""The network fabric: device registry plus link model.
+
+``Network`` owns every simulated device (hosts, switches) and moves packets
+between directly-linked devices with the configured per-hop latency.  The
+paper's parameters (section V-A, taken from IncBricks measurements): 30 us
+between directly connected switches; we default host links to the same value.
+
+By default bandwidth is not modeled as a queue -- consistent with the paper,
+whose requests are ~1 KB and whose bottleneck is server/accelerator service
+time -- but every byte transferred is accounted so protocol overhead is
+measurable.  Passing ``link_bandwidth`` (bits/second) enables a
+store-and-forward serialization model: each directed link transmits one
+packet at a time (``wire_size * 8 / bandwidth`` seconds each), later packets
+queue behind it, and per-link backlog becomes observable.  Useful for
+congestion studies beyond the paper's scope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple
+
+from repro.errors import TopologyError
+from repro.network.packet import Packet
+from repro.network.routing import Router
+from repro.network.topology import NodeKind, Topology
+from repro.sim.core import Environment
+
+
+class Device(Protocol):
+    """Anything that can be attached to the fabric."""
+
+    def receive(self, packet: Packet, from_name: str) -> None:
+        """Handle a packet arriving over a link."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Network:
+    """Device registry and packet mover.
+
+    Args:
+        env: The simulation environment.
+        topology: The wired topology; transmissions are checked against it.
+        switch_link_latency: One-way latency between two switches (seconds).
+        host_link_latency: One-way latency of a host's access link (seconds).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        *,
+        switch_link_latency: float = 30e-6,
+        host_link_latency: float = 30e-6,
+        link_bandwidth: Optional[float] = None,
+        track_links: bool = False,
+    ) -> None:
+        if switch_link_latency < 0 or host_link_latency < 0:
+            raise ValueError("link latencies must be non-negative")
+        if link_bandwidth is not None and link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive (bits/second)")
+        self.env = env
+        self.topology = topology
+        self.router = Router(topology)
+        self.switch_link_latency = switch_link_latency
+        self.host_link_latency = host_link_latency
+        self.link_bandwidth = link_bandwidth
+        self._devices: Dict[str, Device] = {}
+        # Serialization state per directed link: time the link frees up.
+        self._link_busy_until: Dict[Tuple[str, str], float] = {}
+        # Aggregate fabric accounting.
+        self.transmissions = 0
+        self.bytes_transferred = 0
+        self.netrs_overhead_bytes = 0
+        self.serialization_delay_total = 0.0
+        self.max_link_backlog = 0.0
+        # Optional per-directed-link accounting (hotspot diagnostics).
+        self.track_links = track_links
+        self.link_bytes: Dict[Tuple[str, str], int] = {}
+        self.link_packets: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def attach(self, name: str, device: Device) -> None:
+        """Bind a device object to a topology node name."""
+        if name not in self.topology.nodes:
+            raise TopologyError(f"cannot attach to unknown node {name}")
+        if name in self._devices:
+            raise TopologyError(f"device already attached at {name}")
+        self._devices[name] = device
+
+    def device(self, name: str) -> Device:
+        """The device attached at ``name``."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise TopologyError(f"no device attached at {name}") from None
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def link_latency(self, a: str, b: str) -> float:
+        """One-way latency of the direct link between ``a`` and ``b``."""
+        if (
+            self.topology.node(a).kind is NodeKind.HOST
+            or self.topology.node(b).kind is NodeKind.HOST
+        ):
+            return self.host_link_latency
+        return self.switch_link_latency
+
+    def transmit(self, from_name: str, to_name: str, packet: Packet) -> None:
+        """Send ``packet`` over the direct link ``from_name -> to_name``.
+
+        With bandwidth modeling on, the packet first waits for the directed
+        link to finish earlier transmissions, then occupies it for its
+        serialization time; propagation latency is added on top.
+        """
+        device = self.device(to_name)
+        size = packet.wire_size()
+        self.transmissions += 1
+        self.bytes_transferred += size
+        self.netrs_overhead_bytes += packet.netrs_header_bytes()
+        if self.track_links:
+            link = (from_name, to_name)
+            self.link_bytes[link] = self.link_bytes.get(link, 0) + size
+            self.link_packets[link] = self.link_packets.get(link, 0) + 1
+        delay = self.link_latency(from_name, to_name)
+        if self.link_bandwidth is not None:
+            now = self.env.now
+            link = (from_name, to_name)
+            transmission_time = size * 8.0 / self.link_bandwidth
+            free_at = max(now, self._link_busy_until.get(link, 0.0))
+            backlog = free_at - now
+            self._link_busy_until[link] = free_at + transmission_time
+            self.serialization_delay_total += backlog + transmission_time
+            if backlog > self.max_link_backlog:
+                self.max_link_backlog = backlog
+            delay += backlog + transmission_time
+        self.env.call_in(delay, device.receive, packet, from_name)
+
+    def deliver_local(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """Schedule intra-device work (e.g. switch<->accelerator hops)."""
+        self.env.call_in(delay, fn, *args)
+
+    def top_links(self, count: int = 10) -> list:
+        """Hottest directed links by bytes carried (needs ``track_links``).
+
+        Returns ``[((from, to), bytes), ...]`` sorted hottest first.
+        """
+        if not self.track_links:
+            raise TopologyError(
+                "per-link accounting is off; construct Network with "
+                "track_links=True"
+            )
+        return sorted(
+            self.link_bytes.items(), key=lambda item: item[1], reverse=True
+        )[:count]

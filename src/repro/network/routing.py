@@ -1,0 +1,204 @@
+"""Deterministic ECMP routing over tree topologies.
+
+The router answers one question: *given that a device holds a packet, through
+which sequence of devices does it reach a target node?*  Paths are valley-free
+(climb, then descend) and equal-cost choices (which aggregation switch, which
+core) are made by hashing the packet's flow key, so a flow always takes the
+same path -- this models per-flow ECMP as deployed in real data centers and
+keeps the simulation deterministic.
+
+NetRS steers packets to waypoint switches (RSNodes); the router therefore
+supports switch targets as well as host targets.  All combinations used by
+the NetRS data plane are covered:
+
+* ToR -> {host, ToR, aggregation, core}   (stamping ToR forwards to RSNode)
+* aggregation/core -> host                (RSNode forwards to server/client)
+* host -> anything                        (convenience: prepends the ToR)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError, TopologyError
+from repro.network.topology import Node, NodeKind, Topology
+
+
+def _pick(options: List[str], flow_key: int, depth: int) -> str:
+    """Deterministic ECMP choice among ``options``.
+
+    ``depth`` decorrelates successive choices along one path so a flow does
+    not always pick index ``k % n`` at every stage.
+    """
+    if not options:
+        raise RoutingError("no candidate next hop")
+    if len(options) == 1:
+        return options[0]
+    return options[(flow_key >> (5 * depth)) % len(options)]
+
+
+class Router:
+    """Path computation with precomputed topology indexes."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._tor_of_host: Dict[str, str] = {}
+        self._aggs_by_pod: Dict[int, List[str]] = {}
+        self._cores_of_agg: Dict[str, List[str]] = {}
+        self._aggs_of_core_pod: Dict[Tuple[str, int], List[str]] = {}
+        self._build_indexes()
+
+    def _build_indexes(self) -> None:
+        topo = self.topology
+        for host in topo.hosts:
+            self._tor_of_host[host.name] = topo.tor_of(host.name).name
+        for agg in topo.by_kind(NodeKind.AGG):
+            assert agg.pod is not None
+            self._aggs_by_pod.setdefault(agg.pod, []).append(agg.name)
+            cores = sorted(topo.uplinks(agg.name))
+            self._cores_of_agg[agg.name] = cores
+            for core in cores:
+                self._aggs_of_core_pod.setdefault((core, agg.pod), []).append(agg.name)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def tor_of(self, host_name: str) -> str:
+        """Name of the ToR a host hangs off (cached)."""
+        try:
+            return self._tor_of_host[host_name]
+        except KeyError:
+            raise TopologyError(f"unknown host: {host_name}") from None
+
+    def path(self, src: str, dst: str, flow_key: int) -> List[str]:
+        """Device names a packet visits *after* ``src``, ending at ``dst``.
+
+        Raises :class:`RoutingError` when no valley-free path exists (e.g.
+        aggregation to aggregation in a fat-tree, which NetRS never needs).
+        """
+        if src == dst:
+            return []
+        src_node = self.topology.node(src)
+        dst_node = self.topology.node(dst)
+        if src_node.kind is NodeKind.HOST:
+            tor = self.tor_of(src)
+            if tor == dst:
+                return [tor]
+            return [tor] + self._from_tor(self.topology.node(tor), dst_node, flow_key)
+        if src_node.kind is NodeKind.TOR:
+            return self._from_tor(src_node, dst_node, flow_key)
+        if src_node.kind is NodeKind.AGG:
+            return self._from_agg(src_node, dst_node, flow_key)
+        return self._from_core(src_node, dst_node, flow_key)
+
+    # ------------------------------------------------------------------
+    # Per-source-kind path construction
+    # ------------------------------------------------------------------
+    def _from_tor(self, tor: Node, dst: Node, flow_key: int) -> List[str]:
+        assert tor.pod is not None
+        if dst.kind is NodeKind.HOST:
+            dst_tor = self.tor_of(dst.name)
+            if dst_tor == tor.name:
+                return [dst.name]
+            return self._from_tor(tor, self.topology.node(dst_tor), flow_key) + [dst.name]
+        if dst.kind is NodeKind.TOR:
+            if dst.pod == tor.pod:
+                agg = _pick(self._aggs_by_pod[tor.pod], flow_key, 0)
+                return [agg, dst.name]
+            agg_up = _pick(self._aggs_by_pod[tor.pod], flow_key, 0)
+            core = _pick(self._cores_of_agg[agg_up], flow_key, 1)
+            assert dst.pod is not None
+            agg_down = _pick(self._descent_aggs(core, dst.pod), flow_key, 2)
+            return [agg_up, core, agg_down, dst.name]
+        if dst.kind is NodeKind.AGG:
+            if dst.pod == tor.pod:
+                return [dst.name]
+            # Cross-pod aggregation target (responses heading to an RSNode in
+            # the client's pod): climb via a local aggregation switch that
+            # shares a core with the target.
+            target_cores = set(self._cores_of_agg[dst.name])
+            candidates = [
+                (agg, [c for c in self._cores_of_agg[agg] if c in target_cores])
+                for agg in self._aggs_by_pod[tor.pod]
+            ]
+            candidates = [(agg, cores) for agg, cores in candidates if cores]
+            if not candidates:
+                raise RoutingError(
+                    f"no core connects pod {tor.pod} to aggregation {dst.name}"
+                )
+            agg_up, shared_cores = candidates[
+                (flow_key >> 5) % len(candidates)
+            ]
+            core = _pick(shared_cores, flow_key, 1)
+            return [agg_up, core, dst.name]
+        # Core target: climb via a local aggregation switch wired to it.
+        climbers = self._aggs_of_core_pod.get((dst.name, tor.pod), [])
+        if not climbers:
+            raise RoutingError(f"pod {tor.pod} has no link to core {dst.name}")
+        return [_pick(climbers, flow_key, 0), dst.name]
+
+    def _from_agg(self, agg: Node, dst: Node, flow_key: int) -> List[str]:
+        assert agg.pod is not None
+        if dst.kind is NodeKind.HOST:
+            dst_tor_name = self.tor_of(dst.name)
+            dst_tor = self.topology.node(dst_tor_name)
+            if dst_tor.pod == agg.pod:
+                return [dst_tor_name, dst.name]
+            core = _pick(self._cores_of_agg[agg.name], flow_key, 1)
+            assert dst_tor.pod is not None
+            agg_down = _pick(self._descent_aggs(core, dst_tor.pod), flow_key, 2)
+            return [core, agg_down, dst_tor_name, dst.name]
+        if dst.kind is NodeKind.TOR:
+            if dst.pod == agg.pod:
+                return [dst.name]
+            core = _pick(self._cores_of_agg[agg.name], flow_key, 1)
+            assert dst.pod is not None
+            agg_down = _pick(self._descent_aggs(core, dst.pod), flow_key, 2)
+            return [core, agg_down, dst.name]
+        if dst.kind is NodeKind.CORE:
+            if dst.name in self._cores_of_agg[agg.name]:
+                return [dst.name]
+            raise RoutingError(f"{agg.name} has no direct link to {dst.name}")
+        raise RoutingError(
+            f"aggregation-to-aggregation routing is not valley-free "
+            f"({agg.name} -> {dst.name})"
+        )
+
+    def _from_core(self, core: Node, dst: Node, flow_key: int) -> List[str]:
+        if dst.kind is NodeKind.HOST:
+            dst_tor_name = self.tor_of(dst.name)
+            dst_tor = self.topology.node(dst_tor_name)
+            assert dst_tor.pod is not None
+            agg_down = _pick(self._descent_aggs(core.name, dst_tor.pod), flow_key, 2)
+            return [agg_down, dst_tor_name, dst.name]
+        if dst.kind is NodeKind.TOR:
+            assert dst.pod is not None
+            agg_down = _pick(self._descent_aggs(core.name, dst.pod), flow_key, 2)
+            return [agg_down, dst.name]
+        if dst.kind is NodeKind.AGG:
+            assert dst.pod is not None
+            if dst.name in self._descent_aggs(core.name, dst.pod):
+                return [dst.name]
+            raise RoutingError(f"{core.name} has no direct link to {dst.name}")
+        raise RoutingError(f"core-to-core routing is undefined ({core.name} -> {dst.name})")
+
+    def _descent_aggs(self, core: str, pod: int) -> List[str]:
+        aggs = self._aggs_of_core_pod.get((core, pod), [])
+        if not aggs:
+            raise RoutingError(f"core {core} has no link into pod {pod}")
+        return aggs
+
+    # ------------------------------------------------------------------
+    # Hop accounting (used by the placement model's sanity tests)
+    # ------------------------------------------------------------------
+    def hop_count(self, src: str, dst: str, flow_key: int = 0) -> int:
+        """Number of forwardings on the default path from ``src`` to ``dst``.
+
+        Counting matches the paper: every *switch* on the path forwards the
+        packet once (intra-rack host-to-host is 1: the ToR forwards once; a
+        detour via a core switch makes it 5).
+        """
+        path = self.path(src, dst, flow_key)
+        return sum(
+            1 for name in path if self.topology.node(name).kind is not NodeKind.HOST
+        )

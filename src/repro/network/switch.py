@@ -1,0 +1,284 @@
+"""Programmable switch with the NetRS rules pipeline (paper Fig. 3).
+
+Each switch is (potentially) one half of a NetRS operator: the other half is
+the attached :class:`~repro.network.accelerator.Accelerator` running the
+NetRS selector.  The ingress pipeline implements the paper's match-action
+flow exactly:
+
+* non-NetRS packets take the regular forwarding pipeline;
+* a **ToR** stamps ingress packets from its hosts -- RSNode ID for NetRS
+  requests (from the per-traffic-group rules the controller installs, with
+  the illegal-ID/DRS escape hatch), source marker for responses;
+* NetRS requests whose RSNode ID matches the local operator ID go to the
+  accelerator for replica selection, others are forwarded toward their
+  RSNode;
+* NetRS responses matching the local operator ID are *cloned* to the
+  accelerator (state update) while the original continues to the client with
+  its magic rewritten to ``MAGIC_MONITOR``;
+* at ToR egress, monitor-labeled packets leaving the network are counted by
+  the NetRS monitor (paper section IV-D).
+
+Forwarding follows source-routed paths computed by the shared
+:class:`~repro.network.routing.Router`; a path is (re)computed whenever a
+rule changes the packet's steering target, which is what a chain of real
+switches running the same deterministic ECMP would do hop by hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Set
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.accelerator import Accelerator
+from repro.network.addressing import SourceMarker
+from repro.network.fabric import Network
+from repro.network.packet import (
+    MAGIC_MONITOR,
+    MAGIC_REQUEST,
+    MAGIC_RESPONSE,
+    RSNODE_ILLEGAL,
+    Packet,
+    magic_transform,
+)
+
+
+class Selector(Protocol):
+    """NetRS selector running on the accelerator (see repro.core)."""
+
+    def on_request(self, packet: Packet) -> Packet:
+        """Choose a replica and rebuild the request; returns the packet."""
+        ...  # pragma: no cover - protocol definition
+
+    def on_response(self, packet: Packet) -> None:
+        """Fold a response clone into local information."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Monitor(Protocol):
+    """NetRS monitor on ToR egress (see repro.core)."""
+
+    def observe(self, packet: Packet) -> None:
+        """Count one response leaving the network."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ProgrammableSwitch:
+    """One switch of the data center, optionally acting as a NetRS operator."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        *,
+        operator_id: int = 0,
+        accelerator: Optional[Accelerator] = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        node = network.topology.node(name)
+        self.kind = node.kind
+        self.tier = node.tier
+        self.is_tor = node.kind.value == "tor"
+        self.operator_id = operator_id
+        self.accelerator = accelerator
+        self.selector: Optional[Selector] = None
+        self.monitor: Optional[Monitor] = None
+        self.failed = False
+        # ToR state
+        self._attached_hosts: Set[str] = (
+            {h.name for h in network.topology.hosts_under(name)} if self.is_tor else set()
+        )
+        self.marker: Optional[SourceMarker] = (
+            SourceMarker(pod=node.pod, rack=node.rack) if self.is_tor else None
+        )
+        # NetRS rules installed by the controller.
+        self._group_of_host: Dict[str, int] = {}
+        self._rsnode_for_group: Dict[int, int] = {}
+        # Shared directory: operator ID -> switch name (all operators).
+        self._operator_directory: Dict[int, str] = {}
+        # Accounting
+        self.packets_forwarded = 0
+        self.requests_selected = 0
+        self.responses_cloned = 0
+        network.attach(name, self)
+
+    # ------------------------------------------------------------------
+    # Control-plane API (used by the NetRS controller)
+    # ------------------------------------------------------------------
+    def bind_operator(self, selector: Selector, directory: Dict[int, str]) -> None:
+        """Install the selector software and the shared operator directory."""
+        if self.accelerator is None:
+            raise ConfigurationError(
+                f"switch {self.name} has no accelerator to run a selector on"
+            )
+        self.selector = selector
+        self._operator_directory = directory
+
+    def set_directory(self, directory: Dict[int, str]) -> None:
+        """Install the operator directory on a non-RSNode switch."""
+        self._operator_directory = directory
+
+    def install_group_rule(self, host_name: str, group_id: int) -> None:
+        """ToR rule: requests from ``host_name`` belong to ``group_id``."""
+        if not self.is_tor:
+            raise ConfigurationError("group rules only exist on ToR switches")
+        if host_name not in self._attached_hosts:
+            raise ConfigurationError(
+                f"{host_name} is not attached to ToR {self.name}"
+            )
+        self._group_of_host[host_name] = group_id
+
+    def install_rsnode_rule(self, group_id: int, rsnode_id: int) -> None:
+        """ToR rule: stamp ``rsnode_id`` on requests of ``group_id``.
+
+        ``rsnode_id = RSNODE_ILLEGAL`` enables Degraded Replica Selection for
+        the group (paper section IV-B).
+        """
+        if not self.is_tor:
+            raise ConfigurationError("RSNode rules only exist on ToR switches")
+        self._rsnode_for_group[group_id] = rsnode_id
+
+    def rsnode_of_group(self, group_id: int) -> Optional[int]:
+        """Currently installed RSNode for a group (None if no rule)."""
+        return self._rsnode_for_group.get(group_id)
+
+    def fail(self) -> None:
+        """Simulate operator failure: the accelerator stops responding."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Bring a failed operator back (selector state survives)."""
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, from_name: str) -> None:
+        """Ingress pipeline (paper Fig. 3)."""
+        if self.is_tor and from_name in self._attached_hosts:
+            self._ingress_from_host(packet)
+        magic = packet.magic
+        if magic == MAGIC_REQUEST:
+            if packet.rsnode_id == self.operator_id:
+                if self._can_select():
+                    self.requests_selected += 1
+                    self.accelerator.submit(  # type: ignore[union-attr]
+                        packet, self.selector.on_request, self._after_selection  # type: ignore[union-attr]
+                    )
+                else:
+                    # Local operator failed while packets were in flight:
+                    # degrade this request to the client's backup replica,
+                    # exactly what DRS would have done at the ToR.
+                    packet.magic = magic_transform(MAGIC_MONITOR)
+                    packet.dst = packet.backup_replica
+                    packet.server = packet.backup_replica
+                    self._regular_forward(packet)
+                return
+            self._forward_toward_operator(packet)
+            return
+        if magic == MAGIC_RESPONSE:
+            if packet.rsnode_id == self.operator_id:
+                if self._can_select():
+                    self.responses_cloned += 1
+                    self.accelerator.submit(  # type: ignore[union-attr]
+                        packet.clone(), self._absorb_response, None
+                    )
+                packet.magic = MAGIC_MONITOR
+                self._regular_forward(packet)
+                return
+            self._forward_toward_operator(packet)
+            return
+        self._regular_forward(packet)
+
+    def _can_select(self) -> bool:
+        return (
+            self.selector is not None
+            and self.accelerator is not None
+            and not self.failed
+        )
+
+    def _ingress_from_host(self, packet: Packet) -> None:
+        """Extra ToR rules for packets entering the network (section IV-B)."""
+        if packet.magic == MAGIC_REQUEST:
+            group_id = self._group_of_host.get(packet.src)
+            if group_id is None:
+                raise ConfigurationError(
+                    f"no traffic-group rule for host {packet.src} on {self.name}"
+                )
+            rsnode_id = self._rsnode_for_group.get(group_id)
+            if rsnode_id is None:
+                raise ConfigurationError(
+                    f"no RSNode rule for group {group_id} on {self.name}"
+                )
+            packet.rsnode_id = rsnode_id
+            if rsnode_id == RSNODE_ILLEGAL:
+                # Degraded Replica Selection: label as monitor-visible
+                # non-NetRS traffic and route to the client's backup replica.
+                packet.magic = magic_transform(MAGIC_MONITOR)
+                packet.dst = packet.backup_replica
+                packet.server = packet.backup_replica
+        elif packet.magic in (MAGIC_RESPONSE, MAGIC_MONITOR):
+            location = self.network.topology.node(packet.src)
+            packet.source_marker = SourceMarker(
+                pod=location.pod if location.pod is not None else -1,
+                rack=location.rack if location.rack is not None else -1,
+            )
+
+    def _after_selection(self, packet: Packet) -> None:
+        """Selector handed back a rebuilt request: forward it to the server."""
+        self._regular_forward(packet)
+
+    def _absorb_response(self, packet: Packet) -> None:
+        """Accelerator work for a cloned response: update state, drop."""
+        if self.selector is not None:
+            self.selector.on_response(packet)
+        return None
+
+    def _forward_toward_operator(self, packet: Packet) -> None:
+        rsnode_id = packet.rsnode_id
+        target = self._operator_directory.get(rsnode_id)
+        if target is None:
+            raise RoutingError(
+                f"{self.name}: packet carries unknown RSNode ID {rsnode_id}"
+            )
+        self._follow_route(packet, target)
+
+    def _regular_forward(self, packet: Packet) -> None:
+        if packet.dst is None:
+            raise RoutingError(
+                f"{self.name}: cannot forward a packet without a destination"
+            )
+        if packet.dst in self._attached_hosts:
+            self._egress_to_host(packet)
+            return
+        self._follow_route(packet, packet.dst)
+
+    def _egress_to_host(self, packet: Packet) -> None:
+        """Deliver to a locally attached host, counting monitor traffic."""
+        if (
+            self.monitor is not None
+            and packet.magic == MAGIC_MONITOR
+            and packet.source_marker is not None
+        ):
+            self.monitor.observe(packet)
+        self.packets_forwarded += 1
+        self.network.transmit(self.name, packet.dst, packet)  # type: ignore[arg-type]
+
+    def _follow_route(self, packet: Packet, target: str) -> None:
+        """Advance the packet one hop along the (cached) path to ``target``."""
+        if packet.route_target != target:
+            packet.route_target = target
+            packet.route = self.network.router.path(
+                self.name, target, packet.flow_key()
+            )
+            packet.route_pos = 0
+        if packet.route_pos >= len(packet.route):
+            raise RoutingError(
+                f"{self.name}: exhausted route toward {target} "
+                f"(route={packet.route})"
+            )
+        next_name = packet.route[packet.route_pos]
+        packet.route_pos += 1
+        packet.hops += 1
+        self.packets_forwarded += 1
+        self.network.transmit(self.name, next_name, packet)

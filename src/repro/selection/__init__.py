@@ -1,0 +1,39 @@
+"""Replica-selection algorithms.
+
+C3 (the paper's RSNode algorithm) plus classic baselines, all behind the
+:class:`~repro.selection.base.ReplicaSelector` interface so any of them can
+run at any RSNode -- a client under CliRS or a network accelerator under
+NetRS.
+"""
+
+from repro.selection.base import ReplicaSelector
+from repro.selection.c3 import C3Selector
+from repro.selection.ewma_snitch import EwmaSnitchSelector
+from repro.selection.oracle import OracleSelector
+from repro.selection.rate_control import CubicRateLimiter
+from repro.selection.registry import (
+    available_algorithms,
+    create_selector,
+    register,
+)
+from repro.selection.simple import (
+    LeastOutstandingSelector,
+    RandomSelector,
+    RoundRobinSelector,
+    TwoChoicesSelector,
+)
+
+__all__ = [
+    "C3Selector",
+    "CubicRateLimiter",
+    "EwmaSnitchSelector",
+    "LeastOutstandingSelector",
+    "OracleSelector",
+    "RandomSelector",
+    "ReplicaSelector",
+    "RoundRobinSelector",
+    "TwoChoicesSelector",
+    "available_algorithms",
+    "create_selector",
+    "register",
+]

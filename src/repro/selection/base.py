@@ -1,0 +1,61 @@
+"""Replica-selection algorithm interface.
+
+An RSNode -- a client under CliRS, a NetRS operator's accelerator under
+NetRS -- owns one :class:`ReplicaSelector` instance.  The selector sees three
+things, mirroring what real RSNodes observe:
+
+* ``select(candidates, now)`` -- choose a replica for a request,
+* ``note_sent(server, now)`` -- a request actually left for ``server``,
+* ``note_response(server, latency, status, now)`` -- a response arrived,
+  carrying the piggybacked :class:`~repro.network.packet.ServerStatus`.
+
+``note_sent`` is separate from ``select`` because not every selection turns
+into a send (NetRS clients call ``select`` only to pick a DRS backup) and
+some sends are not selections (redundant duplicates).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.packet import ServerStatus
+
+
+class ReplicaSelector(abc.ABC):
+    """Base class for replica-selection algorithms."""
+
+    #: Registry key; subclasses override.
+    algorithm_name = "abstract"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng
+        self.selections = 0
+
+    @abc.abstractmethod
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        """Pick one replica out of ``candidates`` for a fresh request."""
+
+    def note_sent(self, server: str, now: float) -> None:
+        """A request was dispatched to ``server``."""
+
+    def note_response(
+        self, server: str, latency: float, status: ServerStatus, now: float
+    ) -> None:
+        """A response from ``server`` arrived after ``latency`` seconds."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _check_candidates(self, candidates: Sequence[str]) -> None:
+        if not candidates:
+            raise ConfigurationError("select() needs at least one candidate")
+
+    def _tie_break(self, winners: Sequence[str]) -> str:
+        """Choose among equally scored candidates, randomly if possible."""
+        if len(winners) == 1 or self._rng is None:
+            return winners[0]
+        return winners[int(self._rng.integers(len(winners)))]

@@ -1,0 +1,77 @@
+"""Dynamic-Snitching-like selector (Cassandra's default strategy).
+
+Cassandra's dynamic snitch scores replicas by an exponentially decaying
+average of observed read latencies and routes to the lowest-scoring one,
+periodically *resetting* scores so that a slow replica gets retried.  This
+is the classic latency-history baseline the paper contrasts with C3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.packet import ServerStatus
+from repro.selection.base import ReplicaSelector
+
+
+@dataclass(slots=True)
+class _LatencyTrack:
+    ewma: float = 0.0
+    samples: int = 0
+
+
+class EwmaSnitchSelector(ReplicaSelector):
+    """Latency-EWMA ranking with periodic score reset."""
+
+    algorithm_name = "ewma-snitch"
+
+    def __init__(
+        self,
+        *,
+        ewma_alpha: float = 0.75,
+        reset_interval: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        if not 0 <= ewma_alpha < 1:
+            raise ConfigurationError("ewma_alpha must be in [0, 1)")
+        if reset_interval <= 0:
+            raise ConfigurationError("reset_interval must be positive")
+        self.ewma_alpha = ewma_alpha
+        self.reset_interval = reset_interval
+        self._tracks: Dict[str, _LatencyTrack] = {}
+        self._last_reset = 0.0
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        if now - self._last_reset >= self.reset_interval:
+            self._tracks.clear()
+            self._last_reset = now
+        # Unseen replicas score 0, so they are explored first.
+        best = min(self._score(s) for s in candidates)
+        winners = [s for s in candidates if self._score(s) == best]
+        return self._tie_break(winners)
+
+    def _score(self, server: str) -> float:
+        track = self._tracks.get(server)
+        return track.ewma if track is not None else 0.0
+
+    def note_response(
+        self, server: str, latency: float, status: ServerStatus, now: float
+    ) -> None:
+        track = self._tracks.get(server)
+        if track is None:
+            track = _LatencyTrack()
+            self._tracks[server] = track
+        if track.samples == 0:
+            track.ewma = latency
+        else:
+            track.ewma = (
+                self.ewma_alpha * track.ewma + (1 - self.ewma_alpha) * latency
+            )
+        track.samples += 1

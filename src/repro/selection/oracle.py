@@ -1,0 +1,36 @@
+"""Oracle selector: global knowledge of true server queues.
+
+Not realizable in a real deployment -- it peeks at the simulated servers'
+actual state -- but it bounds how much any feedback-based algorithm could
+gain, which makes it a useful yardstick in the algorithm ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.selection.base import ReplicaSelector
+
+#: Returns the true instantaneous queue size of a server by name.
+QueueProbe = Callable[[str], int]
+
+
+class OracleSelector(ReplicaSelector):
+    """Pick the replica with the smallest *true* queue right now."""
+
+    algorithm_name = "oracle"
+
+    def __init__(
+        self, queue_probe: QueueProbe, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__(rng=rng)
+        self._probe = queue_probe
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        best = min(self._probe(s) for s in candidates)
+        winners = [s for s in candidates if self._probe(s) == best]
+        return self._tie_break(winners)

@@ -1,0 +1,128 @@
+"""Cubic rate control, the backpressure half of C3.
+
+C3 pairs its replica ranking with *distributed rate control*: each RSNode
+adapts a per-server sending-rate cap using a CUBIC-style growth function, so
+senders collectively avoid overwhelming a server that ranking alone would
+pile onto.  The NetRS evaluation exercises the ranking half; we provide rate
+control as an optional component (off by default, matching the paper's
+setup) and benchmark its effect separately.
+
+Mechanics (following C3 section 3.2):
+
+* The limiter tracks the *receive rate* ``rrate`` as responses arrive, over
+  a sliding window.
+* When the send rate is below what the server demonstrably sustains, the cap
+  grows along a cubic curve anchored at the last decrease point.
+* When sends outpace receives, the cap is cut multiplicatively and the cubic
+  anchor is reset (like TCP CUBIC's ``W_max``).
+* ``may_send`` enforces the cap with token-bucket semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import ConfigurationError
+
+
+class CubicRateLimiter:
+    """Per-(RSNode, server) sending-rate cap with cubic growth."""
+
+    def __init__(
+        self,
+        *,
+        initial_rate: float = 1000.0,
+        beta: float = 0.2,
+        scaling_constant: float = 0.000004,
+        smoothing: float = 0.8,
+        window: float = 0.1,
+        max_rate: float = 1e7,
+    ) -> None:
+        if initial_rate <= 0:
+            raise ConfigurationError("initial_rate must be positive")
+        if not 0 < beta < 1:
+            raise ConfigurationError("beta must be in (0, 1)")
+        if scaling_constant <= 0:
+            raise ConfigurationError("scaling_constant must be positive")
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.rate = initial_rate
+        self.beta = beta
+        self.scaling_constant = scaling_constant
+        self.smoothing = smoothing
+        self.window = window
+        self.max_rate = max_rate
+        self._rate_at_decrease = initial_rate
+        self._decrease_time = 0.0
+        self._tokens = 1.0
+        self._last_refill = 0.0
+        self._send_times: Deque[float] = deque()
+        self._receive_times: Deque[float] = deque()
+        self.decreases = 0
+
+    # ------------------------------------------------------------------
+    # Rate measurement
+    # ------------------------------------------------------------------
+    def _trim(self, times: Deque[float], now: float) -> None:
+        horizon = now - self.window
+        while times and times[0] < horizon:
+            times.popleft()
+
+    def send_rate(self, now: float) -> float:
+        """Requests per second sent within the sliding window."""
+        self._trim(self._send_times, now)
+        return len(self._send_times) / self.window
+
+    def receive_rate(self, now: float) -> float:
+        """Responses per second received within the sliding window."""
+        self._trim(self._receive_times, now)
+        return len(self._receive_times) / self.window
+
+    # ------------------------------------------------------------------
+    # Cap adaptation
+    # ------------------------------------------------------------------
+    def _cubic_target(self, now: float) -> float:
+        # Standard CUBIC: W(t) = C (t - K)^3 + W_max with K chosen so the
+        # curve passes through the post-decrease rate at t = 0.
+        w_max = self._rate_at_decrease
+        k = ((w_max * self.beta) / self.scaling_constant) ** (1.0 / 3.0)
+        t = now - self._decrease_time
+        return self.scaling_constant * (t - k) ** 3 + w_max
+
+    def on_send(self, now: float) -> None:
+        """Record one send and consume a token."""
+        self._refill(now)
+        self._send_times.append(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+
+    def on_receive(self, now: float) -> None:
+        """Record one receive and adapt the cap."""
+        self._receive_times.append(now)
+        srate = self.send_rate(now)
+        rrate = self.receive_rate(now)
+        if srate > rrate * (1.0 + 1e-9) and srate > 0:
+            # Sending faster than the server returns: multiplicative decrease.
+            self._rate_at_decrease = self.rate
+            self._decrease_time = now
+            self.rate = max(1.0, self.rate * (1.0 - self.beta))
+            self.decreases += 1
+        else:
+            target = self._cubic_target(now)
+            smoothed = self.smoothing * self.rate + (1 - self.smoothing) * target
+            self.rate = min(self.max_rate, max(self.rate, smoothed))
+
+    # ------------------------------------------------------------------
+    # Gate
+    # ------------------------------------------------------------------
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(2.0, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    def may_send(self, now: float) -> bool:
+        """Whether the cap currently allows one more request."""
+        self._refill(now)
+        return self._tokens >= 1.0

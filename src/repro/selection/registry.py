@@ -1,0 +1,91 @@
+"""Factory registry mapping algorithm names to selector builders.
+
+The experiment harness and CLI select algorithms by name; NetRS itself is
+algorithm-agnostic ("NetRS could support diverse algorithms of replica
+selection"), so anything registered here can run at any RSNode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.selection.base import ReplicaSelector
+from repro.selection.c3 import C3Selector
+from repro.selection.ewma_snitch import EwmaSnitchSelector
+from repro.selection.simple import (
+    LeastOutstandingSelector,
+    RandomSelector,
+    RoundRobinSelector,
+    TwoChoicesSelector,
+)
+
+#: A builder receives the RSNode count, a prior service rate and an rng.
+SelectorFactory = Callable[[int, float, np.random.Generator], ReplicaSelector]
+
+_REGISTRY: Dict[str, SelectorFactory] = {}
+
+
+def register(name: str, factory: SelectorFactory) -> None:
+    """Register a selector factory under ``name``."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"selector {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_algorithms() -> tuple:
+    """Names of all registered algorithms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_selector(
+    name: str,
+    *,
+    concurrency_weight: int,
+    prior_service_rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> ReplicaSelector:
+    """Instantiate the algorithm ``name`` for one RSNode."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown selection algorithm {name!r}; "
+            f"available: {', '.join(available_algorithms())}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return factory(concurrency_weight, prior_service_rate, rng)
+
+
+def _c3_with_rate_control(
+    n: int, prior: float, rng: np.random.Generator
+) -> C3Selector:
+    """C3 with its cubic backpressure enabled (C3 paper section 3.2).
+
+    Each (RSNode, server) limiter starts at the server's prior service rate;
+    decreases/growth then track the observed receive rate.
+    """
+    from repro.selection.rate_control import CubicRateLimiter
+
+    return C3Selector(
+        concurrency_weight=n,
+        prior_service_rate=prior,
+        rng=rng,
+        rate_limiter_factory=lambda: CubicRateLimiter(initial_rate=prior),
+    )
+
+
+register(
+    "c3",
+    lambda n, prior, rng: C3Selector(
+        concurrency_weight=n, prior_service_rate=prior, rng=rng
+    ),
+)
+register("c3-rate", _c3_with_rate_control)
+register("random", lambda n, prior, rng: RandomSelector(rng=rng))
+register("round-robin", lambda n, prior, rng: RoundRobinSelector())
+register("least-outstanding", lambda n, prior, rng: LeastOutstandingSelector(rng=rng))
+register("two-choices", lambda n, prior, rng: TwoChoicesSelector(rng=rng))
+register("ewma-snitch", lambda n, prior, rng: EwmaSnitchSelector(rng=rng))

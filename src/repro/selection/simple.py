@@ -1,0 +1,122 @@
+"""Baseline replica-selection algorithms.
+
+These are the classic strategies NetRS supports besides C3 ("NetRS could
+support diverse algorithms of replica selection"): random, round-robin,
+least-outstanding-requests, and Mitzenmacher's power-of-two-choices.  They
+double as baselines in the algorithm-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.packet import ServerStatus
+from repro.selection.base import ReplicaSelector
+
+
+class RandomSelector(ReplicaSelector):
+    """Uniformly random choice among the candidates."""
+
+    algorithm_name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__(rng=rng)
+        if rng is None:
+            raise ConfigurationError("RandomSelector requires an rng")
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        assert self._rng is not None
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class RoundRobinSelector(ReplicaSelector):
+    """Cycle through candidates in order (per selector instance)."""
+
+    algorithm_name = "round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        choice = candidates[self._next % len(candidates)]
+        self._next += 1
+        return choice
+
+
+class LeastOutstandingSelector(ReplicaSelector):
+    """Send to the candidate with the fewest locally outstanding requests."""
+
+    algorithm_name = "least-outstanding"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng=rng)
+        self._outstanding: Dict[str, int] = {}
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        best = min(self._outstanding.get(s, 0) for s in candidates)
+        winners = [s for s in candidates if self._outstanding.get(s, 0) == best]
+        return self._tie_break(winners)
+
+    def note_sent(self, server: str, now: float) -> None:
+        self._outstanding[server] = self._outstanding.get(server, 0) + 1
+
+    def note_response(
+        self, server: str, latency: float, status: ServerStatus, now: float
+    ) -> None:
+        current = self._outstanding.get(server, 0)
+        if current > 0:
+            self._outstanding[server] = current - 1
+
+
+class TwoChoicesSelector(ReplicaSelector):
+    """Mitzenmacher's power of two choices over piggybacked queue sizes.
+
+    Samples two random candidates and picks the one whose last piggybacked
+    queue size was smaller (falling back to outstanding counts before any
+    feedback arrives).
+    """
+
+    algorithm_name = "two-choices"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__(rng=rng)
+        if rng is None:
+            raise ConfigurationError("TwoChoicesSelector requires an rng")
+        self._queue_sizes: Dict[str, float] = {}
+        self._outstanding: Dict[str, int] = {}
+
+    def _load(self, server: str) -> float:
+        return self._queue_sizes.get(server, 0.0) + self._outstanding.get(server, 0)
+
+    def select(self, candidates: Sequence[str], now: float) -> str:
+        self._check_candidates(candidates)
+        self.selections += 1
+        assert self._rng is not None
+        if len(candidates) == 1:
+            return candidates[0]
+        i, j = self._rng.choice(len(candidates), size=2, replace=False)
+        first, second = candidates[int(i)], candidates[int(j)]
+        if self._load(first) <= self._load(second):
+            return first
+        return second
+
+    def note_sent(self, server: str, now: float) -> None:
+        self._outstanding[server] = self._outstanding.get(server, 0) + 1
+
+    def note_response(
+        self, server: str, latency: float, status: ServerStatus, now: float
+    ) -> None:
+        current = self._outstanding.get(server, 0)
+        if current > 0:
+            self._outstanding[server] = current - 1
+        self._queue_sizes[server] = float(status.queue_size)

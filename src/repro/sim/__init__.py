@@ -1,0 +1,48 @@
+"""Discrete-event simulation engine.
+
+This subpackage is the substrate every other component runs on.  It provides:
+
+* :class:`~repro.sim.core.Environment` -- the event loop with a virtual clock,
+* :class:`~repro.sim.core.Event` and :class:`~repro.sim.core.Timeout` -- the
+  primitive synchronization objects,
+* :class:`~repro.sim.process.Process` -- generator-based simulated processes,
+* :mod:`~repro.sim.resources` -- queues and capacity-limited resources,
+* :mod:`~repro.sim.rng` -- named, reproducible random streams,
+* :mod:`~repro.sim.probes` -- measurement helpers (counters, latency
+  recorders, time series).
+
+The engine is deliberately simpy-like so that modeling code reads naturally,
+but it also exposes a cheap callback API (:meth:`Environment.call_at` /
+:meth:`Environment.call_in`) used on the per-packet hot path where spinning up
+a generator per hop would be wasteful.
+"""
+
+from repro.sim.core import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.probes import Counter, LatencyRecorder, TimeSeries, WelfordStats
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Counter",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "WelfordStats",
+]

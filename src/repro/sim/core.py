@@ -1,0 +1,331 @@
+"""Core of the discrete-event engine: the clock, the heap, and events.
+
+Time is a ``float`` in **seconds**.  All scheduling goes through
+:class:`Environment`; entities never touch the heap directly.
+
+Two scheduling styles coexist:
+
+* **Callbacks** -- ``env.call_in(delay, fn, *args)`` runs ``fn`` at
+  ``env.now + delay``.  This is the cheap path used for packet hops.
+* **Events** -- :class:`Event` objects that processes can wait on.  An event
+  is *triggered* exactly once (``succeed``/``fail``) and then notifies its
+  callbacks in FIFO order.
+
+Ties in time are broken by insertion order, so the simulation is fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: the event is placed on the heap at the current time and,
+    when popped, its callbacks run with the event as sole argument.
+
+    Attributes:
+        env: The owning :class:`Environment`.
+        callbacks: Callables invoked when the event is processed.  ``None``
+            after processing (late ``wait`` attempts raise).
+        value: Payload passed to :meth:`succeed`, or the exception passed to
+            :meth:`fail`.
+    """
+
+    __slots__ = ("env", "callbacks", "value", "_ok", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.value: Any = None
+        self._ok: Optional[bool] = None  # None => pending
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether ``succeed``/``fail`` has been called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event is not triggered yet")
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self.value = value
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception as its outcome."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self.value = exception
+        self.env._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError(f"{self!r} was already processed")
+        self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self.value = value
+        env._schedule_event(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Succeeds when the first of ``events`` is processed.
+
+    The value is a dict mapping the completed event(s) to their values (events
+    already processed before construction are included immediately).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                if not self.triggered:
+                    self.succeed({event: event.value})
+            else:
+                event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed({event: event.value})
+
+
+class AllOf(Event):
+    """Succeeds when every one of ``events`` has been processed."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for event in self._events:
+            if event.callbacks is not None:
+                self._remaining += 1
+                event.add_callback(self._on_child)
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})
+
+
+class _Handle:
+    """Cancellation handle returned by :meth:`Environment.call_at`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from running."""
+        self.cancelled = True
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event heap.
+
+    Args:
+        initial_time: Starting value of the clock, in seconds.
+
+    The heap holds tuples ``(time, seq, kind, payload)`` where ``seq`` is a
+    monotonically increasing tiebreaker.  ``kind`` 0 = raw callback,
+    1 = event processing.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total heap entries processed so far (engine throughput metric)."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(
+        self, when: float, fn: Callable[..., Any], *args: Any
+    ) -> _Handle:
+        """Run ``fn(*args)`` at absolute time ``when``; returns a handle."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now={self._now}"
+            )
+        handle = _Handle()
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, 0, (fn, args, handle)))
+        return handle
+
+    def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> _Handle:
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, 1, event))
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event succeeding when the first of ``events`` completes."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event succeeding when all of ``events`` complete."""
+        return AllOf(self, events)
+
+    def process(self, generator: Any) -> "Process":
+        """Start a generator as a simulated :class:`Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next heap entry."""
+        when, _seq, kind, payload = heapq.heappop(self._heap)
+        self._now = when
+        self._event_count += 1
+        if kind == 0:
+            fn, args, handle = payload
+            if not handle.cancelled:
+                fn(*args)
+        else:
+            payload._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled entry, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the value carried by :class:`StopSimulation` if something
+        stopped the run early, else ``None``.
+        """
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+            else:
+                until = float(until)
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) is in the past (now={self._now})"
+                    )
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                self._now = max(self._now, until)
+        except StopSimulation as stop:
+            return stop.value
+        return None
+
+    def stop(self, value: Any = None) -> None:
+        """Stop the current :meth:`run` immediately (callable from callbacks)."""
+        raise StopSimulation(value)

@@ -1,0 +1,183 @@
+"""Measurement helpers: counters, streaming stats, latency percentiles.
+
+These are plain data collectors -- they never schedule anything, so attaching
+probes cannot change simulation behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A named bag of integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, key: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``key`` (created at 0)."""
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        """Current value of ``key`` (0 if never incremented)."""
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self._counts!r})"
+
+
+class WelfordStats:
+    """Streaming mean / variance / min / max without storing samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running statistics."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than 2 samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen (NaN when empty)."""
+        return self._min if self.count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen (NaN when empty)."""
+        return self._max if self.count else math.nan
+
+
+class LatencyRecorder:
+    """Stores every latency sample and computes exact percentiles.
+
+    The NetRS evaluation reports Avg / 95th / 99th / 99.9th percentiles, and
+    99.9th of a few ten-thousand samples needs the exact empirical quantile,
+    so we keep all samples (floats are cheap at this scale) rather than a
+    sketch.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: np.ndarray | None = None
+
+    def add(self, latency: float) -> None:
+        """Record one latency sample, in seconds."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self._samples.append(latency)
+        self._sorted = None
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Record many samples at once."""
+        for value in latencies:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        """Read-only view of the raw samples (insertion order)."""
+        return tuple(self._samples)
+
+    def _ensure_sorted(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples, dtype=float))
+        return self._sorted
+
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        if not self._samples:
+            return math.nan
+        return float(np.mean(self._ensure_sorted()))
+
+    def percentile(self, q: float) -> float:
+        """Empirical ``q``-th percentile, ``0 <= q <= 100`` (NaN when empty)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._ensure_sorted(), q))
+
+    def summary(self) -> Dict[str, float]:
+        """The four paper metrics: mean, p95, p99, p999 (seconds)."""
+        return {
+            "mean": self.mean(),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` sequence, e.g. queue length over time."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` numpy arrays."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def time_average(self, until: float) -> float:
+        """Time-weighted average of the step function up to ``until``."""
+        if not self._times:
+            return math.nan
+        if until < self._times[0]:
+            raise ValueError("until precedes the first observation")
+        total = 0.0
+        for i, start in enumerate(self._times):
+            end = self._times[i + 1] if i + 1 < len(self._times) else until
+            end = min(end, until)
+            if end > start:
+                total += self._values[i] * (end - start)
+        span = until - self._times[0]
+        return total / span if span > 0 else self._values[0]

@@ -1,0 +1,121 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that ``yield``\\ s :class:`~repro.sim.core.Event`
+objects.  Each yield suspends the process until the event is processed; the
+event's value is sent back into the generator (or its exception thrown in).
+
+Example::
+
+    def server(env, store):
+        while True:
+            request = yield store.get()
+            yield env.timeout(0.004)
+            request.done.succeed()
+
+    env.process(server(env, store))
+
+A :class:`Process` is itself an :class:`Event` that succeeds with the
+generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.core import Environment, Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """Wraps a generator and steps it through the event loop."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: Environment,
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next heap pop at the current time so construction
+        # order does not matter within a timestep.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not finished yet."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is detached: its eventual
+        completion no longer resumes the process.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._waiting_on is None:
+            raise SimulationError(f"process {self.name!r} is not waiting")
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event.add_callback(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+        self._waiting_on = interrupt_event
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup after an interrupt detached it
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interruption: treat as failure.
+            self.fail(SimulationError(f"process {self.name!r} killed by interrupt"))
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; expected an Event"
+                )
+            )
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately via a fresh trampoline so
+            # we do not recurse arbitrarily deep.
+            trampoline = Event(self.env)
+            trampoline.add_callback(self._resume)
+            self._waiting_on = trampoline
+            if target.ok:
+                trampoline.succeed(target.value)
+            else:
+                trampoline.fail(target.value)
+        else:
+            target.add_callback(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {state}>"

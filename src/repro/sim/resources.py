@@ -1,0 +1,107 @@
+"""Capacity-limited resources and message stores for processes.
+
+:class:`Resource` models ``capacity`` interchangeable slots (e.g. the Np
+parallel request slots of a key-value server).  :class:`Store` is an
+unbounded FIFO of items with blocking ``get`` (e.g. a NIC receive queue).
+
+Both hand out plain :class:`~repro.sim.core.Event` objects so they compose
+with processes and ``any_of``/``all_of``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Resource:
+    """``capacity`` slots granted FIFO.
+
+    Usage inside a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter: in_use is unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with the
+    oldest item as soon as one is available.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of blocked ``get`` calls."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

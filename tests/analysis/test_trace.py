@@ -1,0 +1,151 @@
+"""Tests for the request-trace collector."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.trace import RequestRecord, TraceCollector
+from repro.network.packet import Packet, ServerStatus
+
+
+def _response(request_id=1, server="server0", client="client0", redundant=False):
+    return Packet(
+        src=server,
+        dst=client,
+        magic=0,
+        request_id=request_id,
+        server_status=ServerStatus(queue_size=0, service_rate=1.0, timestamp=0.0),
+        client=client,
+        server=server,
+        rsnode_id=7,
+        key=3,
+        hops=5,
+        is_redundant=redundant,
+    )
+
+
+def _record(collector, request_id=1, server="server0", latency=0.004, **kw):
+    collector.record_completion(
+        _response(request_id=request_id, server=server, **kw),
+        issued_at=1.0,
+        completed_at=1.0 + latency,
+        recorded=True,
+        rgid=9,
+    )
+
+
+class TestTraceCollector:
+    def test_record_fields(self):
+        collector = TraceCollector()
+        _record(collector)
+        record = collector.records[0]
+        assert record.request_id == 1
+        assert record.server == "server0"
+        assert record.rsnode_id == 7
+        assert record.latency == pytest.approx(0.004)
+        assert record.rgid == 9
+        assert record.hops == 5
+        assert not record.was_redundant_winner
+
+    def test_capacity_bounds_memory(self):
+        collector = TraceCollector(capacity=3)
+        for i in range(5):
+            _record(collector, request_id=i)
+        assert len(collector) == 3
+        assert collector.dropped == 2
+        assert [r.request_id for r in collector] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+    def test_per_server_counts(self):
+        collector = TraceCollector()
+        _record(collector, request_id=1, server="a")
+        _record(collector, request_id=2, server="a")
+        _record(collector, request_id=3, server="b")
+        assert collector.per_server_counts() == {"a": 2, "b": 1}
+
+    def test_per_rsnode_counts(self):
+        collector = TraceCollector()
+        _record(collector, request_id=1)
+        assert collector.per_rsnode_counts() == {7: 1}
+
+    def test_latencies_filter_warmup(self):
+        collector = TraceCollector()
+        collector.record_completion(
+            _response(request_id=1),
+            issued_at=0.0,
+            completed_at=0.002,
+            recorded=False,
+            rgid=1,
+        )
+        _record(collector, request_id=2)
+        assert len(collector.latencies()) == 1
+        assert len(collector.latencies(recorded_only=False)) == 2
+
+    def test_csv_round_trip(self):
+        collector = TraceCollector()
+        _record(collector, request_id=11, server="sX")
+        rows = list(csv.DictReader(io.StringIO(collector.to_csv())))
+        assert len(rows) == 1
+        assert rows[0]["server"] == "sX"
+        assert rows[0]["request_id"] == "11"
+
+    def test_jsonl_parses(self):
+        collector = TraceCollector()
+        _record(collector, request_id=1)
+        _record(collector, request_id=2)
+        lines = collector.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["request_id"] == 1
+
+    def test_write_csv(self, tmp_path):
+        collector = TraceCollector()
+        _record(collector)
+        path = tmp_path / "trace.csv"
+        collector.write_csv(str(path))
+        assert path.read_text().startswith("request_id,")
+
+    def test_record_is_frozen(self):
+        collector = TraceCollector()
+        _record(collector)
+        with pytest.raises(AttributeError):
+            collector.records[0].latency = 1.0
+
+
+class TestLatencyTimeline:
+    def test_buckets_and_means(self):
+        collector = TraceCollector()
+        # Two completions in bucket 0, one in bucket 2.
+        for request_id, (completed, latency) in enumerate(
+            [(0.005, 0.002), (0.008, 0.004), (0.025, 0.010)]
+        ):
+            collector.record_completion(
+                _response(request_id=request_id),
+                issued_at=completed - latency,
+                completed_at=completed,
+                recorded=True,
+                rgid=1,
+            )
+        timeline = collector.latency_timeline(0.01)
+        assert timeline[0] == (0.0, pytest.approx(0.003), 2)
+        assert timeline[1] == (pytest.approx(0.02), pytest.approx(0.010), 1)
+
+    def test_recorded_only_filter(self):
+        collector = TraceCollector()
+        collector.record_completion(
+            _response(request_id=1),
+            issued_at=0.0,
+            completed_at=0.001,
+            recorded=False,
+            rgid=1,
+        )
+        assert collector.latency_timeline(0.01, recorded_only=True) == []
+        assert len(collector.latency_timeline(0.01)) == 1
+
+    def test_bucket_validated(self):
+        with pytest.raises(ValueError):
+            TraceCollector().latency_timeline(0.0)

@@ -1,0 +1,96 @@
+"""Tests for the NetRS monitor's per-group tier counters."""
+
+import pytest
+
+from repro.core.monitor import NetRSMonitor
+from repro.errors import ProtocolError
+from repro.network.addressing import SourceMarker
+from repro.network.packet import MAGIC_MONITOR, Packet, ServerStatus
+from repro.sim import Environment
+
+GROUPS = {"client0": 1, "client1": 1, "client2": 2}
+
+
+def _monitor(env):
+    return NetRSMonitor(
+        env,
+        marker=SourceMarker(pod=0, rack=0),
+        group_lookup=GROUPS.get,
+    )
+
+
+def _response(dst="client0", src_pod=0, src_rack=0):
+    return Packet(
+        src="server",
+        dst=dst,
+        magic=MAGIC_MONITOR,
+        request_id=1,
+        source_marker=SourceMarker(pod=src_pod, rack=src_rack),
+        server_status=ServerStatus(queue_size=0, service_rate=1.0, timestamp=0.0),
+        client=dst,
+        server="server",
+    )
+
+
+class TestObserve:
+    def test_counts_by_tier(self):
+        env = Environment()
+        monitor = _monitor(env)
+        monitor.observe(_response(src_pod=0, src_rack=0))  # same rack: tier2
+        monitor.observe(_response(src_pod=0, src_rack=1))  # same pod: tier1
+        monitor.observe(_response(src_pod=3, src_rack=0))  # cross pod: tier0
+        monitor.observe(_response(src_pod=3, src_rack=0))
+        assert monitor.counts()[1] == (2, 1, 1)
+        assert monitor.observed == 4
+
+    def test_groups_kept_separate(self):
+        env = Environment()
+        monitor = _monitor(env)
+        monitor.observe(_response(dst="client0", src_pod=1))
+        monitor.observe(_response(dst="client2", src_pod=1))
+        counts = monitor.counts()
+        assert counts[1] == (1, 0, 0)
+        assert counts[2] == (1, 0, 0)
+
+    def test_unknown_destination_is_unmatched(self):
+        env = Environment()
+        monitor = _monitor(env)
+        monitor.observe(_response(dst="stranger"))
+        assert monitor.observed == 0
+        assert monitor.unmatched == 1
+        assert monitor.counts() == {}
+
+    def test_missing_marker_rejected(self):
+        env = Environment()
+        monitor = _monitor(env)
+        packet = _response()
+        packet.source_marker = None
+        with pytest.raises(ProtocolError):
+            monitor.observe(packet)
+
+
+class TestRates:
+    def test_rates_divide_by_window(self):
+        env = Environment()
+        monitor = _monitor(env)
+        for _ in range(10):
+            monitor.observe(_response(src_pod=2))
+        env.call_in(2.0, lambda: None)
+        env.run()
+        assert monitor.rates()[1] == pytest.approx((5.0, 0.0, 0.0))
+
+    def test_zero_window_rates_are_zero(self):
+        env = Environment()
+        monitor = _monitor(env)
+        monitor.observe(_response())
+        assert monitor.rates()[1] == (0.0, 0.0, 0.0)
+
+    def test_reset_clears_counts_and_window(self):
+        env = Environment()
+        monitor = _monitor(env)
+        monitor.observe(_response())
+        env.call_in(1.0, lambda: None)
+        env.run()
+        monitor.reset()
+        assert monitor.counts() == {}
+        assert monitor.window_started_at == 1.0

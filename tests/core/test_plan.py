@@ -1,0 +1,93 @@
+"""Tests for traffic groups and the Replica Selection Plan."""
+
+import pytest
+
+from repro.core.plan import SelectionPlan, TrafficGroup, make_traffic_groups
+from repro.errors import ConfigurationError
+from repro.network.fattree import build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_fat_tree(4)
+
+
+CLIENTS = ["host0.0.0", "host0.0.1", "host0.1.0", "host2.0.0", "host2.0.1"]
+
+
+class TestMakeTrafficGroups:
+    def test_rack_level(self, topo):
+        groups = make_traffic_groups(topo, CLIENTS, "rack")
+        assert len(groups) == 3  # racks (0,0), (0,1), (2,0)
+        by_tor = {g.tor: g for g in groups}
+        assert set(by_tor) == {"tor0.0", "tor0.1", "tor2.0"}
+        assert by_tor["tor0.0"].hosts == ("host0.0.0", "host0.0.1")
+
+    def test_host_level(self, topo):
+        groups = make_traffic_groups(topo, CLIENTS, "host")
+        assert len(groups) == len(CLIENTS)
+        assert all(len(g.hosts) == 1 for g in groups)
+
+    def test_intervening_level(self, topo):
+        clients = ["host0.0.0", "host0.0.1", "host0.1.0"]
+        groups = make_traffic_groups(topo, clients, 1)
+        assert len(groups) == 3
+        groups2 = make_traffic_groups(topo, clients, 2)
+        assert len(groups2) == 2
+
+    def test_group_ids_start_at_one(self, topo):
+        groups = make_traffic_groups(topo, CLIENTS)
+        assert min(g.group_id for g in groups) == 1
+        assert len({g.group_id for g in groups}) == len(groups)
+
+    def test_pod_rack_metadata(self, topo):
+        groups = make_traffic_groups(topo, ["host2.1.1"])
+        assert groups[0].pod == 2
+        assert groups[0].rack == 1
+        assert groups[0].tier == 2
+
+    def test_bad_granularity(self, topo):
+        with pytest.raises(ConfigurationError):
+            make_traffic_groups(topo, CLIENTS, "pod")
+        with pytest.raises(ConfigurationError):
+            make_traffic_groups(topo, CLIENTS, 0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficGroup(group_id=1, tor="tor0.0", pod=0, rack=0, hosts=())
+
+    def test_deterministic_ordering(self, topo):
+        a = make_traffic_groups(topo, list(reversed(CLIENTS)))
+        b = make_traffic_groups(topo, CLIENTS)
+        assert [(g.tor, g.hosts) for g in a] == [(g.tor, g.hosts) for g in b]
+
+
+class TestSelectionPlan:
+    def test_rsnode_accounting(self):
+        plan = SelectionPlan(assignments={1: 10, 2: 10, 3: 11})
+        assert plan.rsnode_count == 2
+        assert plan.rsnode_ids == (10, 11)
+
+    def test_operator_of(self):
+        plan = SelectionPlan(assignments={1: 10})
+        assert plan.operator_of(1) == 10
+        with pytest.raises(ConfigurationError):
+            plan.operator_of(99)
+
+    def test_degraded_group_lookup_raises(self):
+        plan = SelectionPlan(assignments={1: 10}, drs_groups=frozenset({2}))
+        with pytest.raises(ConfigurationError):
+            plan.operator_of(2)
+
+    def test_groups_of(self):
+        plan = SelectionPlan(assignments={1: 10, 2: 10, 3: 11})
+        assert plan.groups_of(10) == (1, 2)
+        assert plan.groups_of(99) == ()
+
+    def test_describe_mentions_drs(self):
+        plan = SelectionPlan(
+            assignments={1: 10}, drs_groups=frozenset({2}), solver="ilp"
+        )
+        text = plan.describe()
+        assert "1 RSNodes" in text
+        assert "degraded" in text

@@ -1,0 +1,66 @@
+"""Tests for the plan-quality report."""
+
+import pytest
+
+from repro.core.placement import plan_report, solve_ilp
+from repro.core.placement.problem import PlacementProblem, build_operator_specs
+from repro.core.plan import SelectionPlan, make_traffic_groups
+from repro.network.fattree import build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topo = build_fat_tree(4)
+    groups = make_traffic_groups(topo, ["host0.0.0", "host1.0.0", "host2.0.0"])
+    operators = build_operator_specs(
+        topo,
+        accelerator_cores=1,
+        accelerator_service_time=5e-6,
+        max_utilization=0.5,
+    )
+    traffic = {g.group_id: (800.0, 150.0, 50.0) for g in groups}
+    problem = PlacementProblem(
+        groups=groups,
+        operators=operators,
+        traffic=traffic,
+        extra_hops_budget=3000.0,
+    )
+    return problem, solve_ilp(problem)
+
+
+class TestPlanReport:
+    def test_contains_every_rsnode(self, setup):
+        problem, plan = setup
+        text = plan_report(problem, plan)
+        for operator_id in plan.rsnode_ids:
+            assert str(operator_id) in text
+
+    def test_reports_budget_share(self, setup):
+        problem, plan = setup
+        text = plan_report(problem, plan)
+        assert "total extra hops" in text
+        assert "of budget" in text
+
+    def test_utilization_column(self, setup):
+        problem, plan = setup
+        text = plan_report(problem, plan)
+        assert "util" in text
+        assert "%" in text
+
+    def test_degraded_groups_listed(self, setup):
+        problem, _ = setup
+        plan = SelectionPlan(
+            assignments={
+                problem.groups[0].group_id: plan_target(problem)
+            },
+            drs_groups=frozenset(
+                g.group_id for g in problem.groups[1:]
+            ),
+        )
+        text = plan_report(problem, plan)
+        assert "degraded groups" in text
+        assert "client backups" in text
+
+
+def plan_target(problem):
+    return next(op.operator_id for op in problem.operators if op.tier == 0)

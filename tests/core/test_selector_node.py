@@ -1,0 +1,122 @@
+"""Tests for the NetRS selector running on an accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector_node import NetRSSelector
+from repro.errors import ProtocolError
+from repro.kvstore.hashing import ConsistentHashRing
+from repro.network.packet import (
+    MAGIC_RESPONSE,
+    ServerStatus,
+    magic_transform,
+    make_request,
+    make_response,
+)
+from repro.selection.c3 import C3Selector
+from repro.sim import Environment
+
+SERVERS = [f"server{i}" for i in range(6)]
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    ring = ConsistentHashRing(SERVERS, replication_factor=3, virtual_nodes=8)
+    algorithm = C3Selector(
+        concurrency_weight=2,
+        prior_service_rate=1000.0,
+        rng=np.random.default_rng(0),
+    )
+    selector = NetRSSelector(env, algorithm=algorithm, ring=ring)
+    return env, ring, algorithm, selector
+
+
+def _request(ring, key=5):
+    rgid, _ = ring.group_for_key(key)
+    return make_request(
+        client="client0",
+        request_id=1,
+        key=key,
+        rgid=rgid,
+        backup_replica="server0",
+        issued_at=0.0,
+        netrs=True,
+    )
+
+
+class TestOnRequest:
+    def test_selects_a_replica_of_the_group(self, setup):
+        env, ring, _, selector = setup
+        packet = _request(ring)
+        result = selector.on_request(packet)
+        _, replicas = ring.group_for_key(5)
+        assert result is packet
+        assert packet.dst in replicas
+        assert packet.server == packet.dst
+
+    def test_rebuilds_magic_and_rv(self, setup):
+        env, ring, _, selector = setup
+        env.call_in(0.5, lambda: None)
+        env.run()
+        packet = _request(ring)
+        selector.on_request(packet)
+        assert packet.magic == magic_transform(MAGIC_RESPONSE)
+        assert packet.retaining_value == 0.5  # send timestamp, per the paper
+
+    def test_counts_outstanding(self, setup):
+        env, ring, algorithm, selector = setup
+        packet = _request(ring)
+        selector.on_request(packet)
+        assert algorithm.outstanding(packet.dst) == 1
+        assert selector.requests_handled == 1
+
+    def test_missing_rgid_rejected(self, setup):
+        env, ring, _, selector = setup
+        packet = _request(ring)
+        packet.rgid = -1
+        with pytest.raises(ProtocolError):
+            selector.on_request(packet)
+
+
+class TestOnResponse:
+    def test_updates_algorithm_state(self, setup):
+        env, ring, algorithm, selector = setup
+        request = _request(ring)
+        selector.on_request(request)
+        server = request.dst
+        env.call_in(4e-3, lambda: None)
+        env.run()
+        status = ServerStatus(queue_size=3, service_rate=900.0, timestamp=env.now)
+        response = make_response(request, server=server, status=status)
+        selector.on_response(response)
+        assert algorithm.outstanding(server) == 0
+        assert selector.responses_handled == 1
+        track = algorithm._tracks[server]
+        assert track.response_time == pytest.approx(4e-3)
+        assert track.queue_size == pytest.approx(3.0)
+
+    def test_missing_status_rejected(self, setup):
+        env, ring, _, selector = setup
+        request = _request(ring)
+        selector.on_request(request)
+        request.server_status = None
+        with pytest.raises(ProtocolError):
+            selector.on_response(request)
+
+    def test_feedback_loop_shifts_selection(self, setup):
+        """Bad feedback about one replica steers later requests away."""
+        env, ring, algorithm, selector = setup
+        packet = _request(ring)
+        selector.on_request(packet)
+        loaded = packet.dst
+        status = ServerStatus(queue_size=30, service_rate=100.0, timestamp=0.0)
+        response = make_response(packet, server=loaded, status=status)
+        selector.on_response(response)
+        picks = set()
+        for i in range(10):
+            fresh = _request(ring)
+            fresh.request_id = 100 + i
+            selector.on_request(fresh)
+            picks.add(fresh.dst)
+        assert loaded not in picks

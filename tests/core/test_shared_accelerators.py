@@ -1,0 +1,172 @@
+"""Tests for shared accelerators and heterogeneous capacities (III-B)."""
+
+import pytest
+
+from repro.core.placement import (
+    solve_core_only,
+    solve_greedy,
+    solve_ilp,
+    solve_tor,
+)
+from repro.core.placement.problem import (
+    PlacementProblem,
+    build_operator_specs,
+)
+from repro.core.plan import make_traffic_groups
+from repro.errors import ConfigurationError, InfeasiblePlanError
+from repro.network.addressing import TIER_CORE
+from repro.network.fattree import build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_fat_tree(4)
+
+
+CLIENTS = ["host0.0.0", "host0.1.0", "host1.0.0", "host2.0.0", "host3.1.0"]
+
+
+def _specs(topo, **kwargs):
+    return build_operator_specs(
+        topo,
+        accelerator_cores=1,
+        accelerator_service_time=5e-6,
+        max_utilization=0.5,
+        work_per_request=2.0,
+        **kwargs,
+    )
+
+
+def _problem(topo, *, per_group, budget=10**12, shared=None, specs=None):
+    groups = make_traffic_groups(topo, CLIENTS)
+    operators = specs if specs is not None else _specs(topo)
+    traffic = {g.group_id: (per_group, 0.0, 0.0) for g in groups}
+    return PlacementProblem(
+        groups=groups,
+        operators=operators,
+        traffic=traffic,
+        extra_hops_budget=budget,
+        shared_accelerators=shared or {},
+    )
+
+
+class TestValidation:
+    def test_unknown_operator_in_set(self, topo):
+        with pytest.raises(ConfigurationError):
+            _problem(topo, per_group=1.0, shared={frozenset({9999}): 100.0})
+
+    def test_overlapping_sets(self, topo):
+        with pytest.raises(ConfigurationError):
+            _problem(
+                topo,
+                per_group=1.0,
+                shared={
+                    frozenset({1, 2}): 100.0,
+                    frozenset({2, 3}): 100.0,
+                },
+            )
+
+    def test_non_positive_capacity(self, topo):
+        with pytest.raises(ConfigurationError):
+            _problem(topo, per_group=1.0, shared={frozenset({1}): 0.0})
+
+    def test_capacity_groups_cover_everyone(self, topo):
+        problem = _problem(
+            topo, per_group=1.0, shared={frozenset({1, 2}): 100.0}
+        )
+        covered = set()
+        for members, _capacity in problem.capacity_groups():
+            assert not covered & set(members)
+            covered |= set(members)
+        assert covered == {op.operator_id for op in problem.operators}
+
+    def test_capacity_of_operator(self, topo):
+        problem = _problem(
+            topo, per_group=1.0, shared={frozenset({1, 2}): 123.0}
+        )
+        assert problem.capacity_of_operator(1) == 123.0
+        assert problem.capacity_of_operator(3) == pytest.approx(50_000.0)
+
+
+class TestSharedCapacityConstrainsPlans:
+    def test_joint_constraint_forces_more_rsnodes(self, topo):
+        """Two cores behind one accelerator cannot both absorb full load."""
+        core_ids = [
+            op.operator_id for op in _specs(topo) if op.tier == TIER_CORE
+        ]
+        # 5 groups x 20k = 100k total; one dedicated core would need two
+        # (50k each); sharing one accelerator across ALL cores caps the
+        # whole core tier at 50k, forcing at least one non-core RSNode.
+        shared = {frozenset(core_ids): 50_000.0}
+        problem = _problem(topo, per_group=20_000.0, shared=shared)
+        plan = solve_ilp(problem)
+        problem.check_assignment(plan.assignments)
+        by_id = {op.operator_id: op for op in problem.operators}
+        tiers = [by_id[oid].tier for oid in plan.rsnode_ids]
+        assert any(t != TIER_CORE for t in tiers)
+
+    def test_greedy_respects_shared_capacity(self, topo):
+        core_ids = [
+            op.operator_id for op in _specs(topo) if op.tier == TIER_CORE
+        ]
+        shared = {frozenset(core_ids): 50_000.0}
+        problem = _problem(topo, per_group=20_000.0, shared=shared)
+        plan = solve_greedy(problem)
+        problem.check_assignment(plan.assignments)
+
+    def test_core_only_fails_when_shared_core_capacity_too_small(self, topo):
+        core_ids = [
+            op.operator_id for op in _specs(topo) if op.tier == TIER_CORE
+        ]
+        shared = {frozenset(core_ids): 50_000.0}
+        problem = _problem(topo, per_group=20_000.0, shared=shared)
+        with pytest.raises(InfeasiblePlanError):
+            solve_core_only(problem)
+
+    def test_tor_solver_with_shared_tor_accelerator(self, topo):
+        specs = _specs(topo)
+        tor_ids = [
+            op.operator_id
+            for op in specs
+            if op.switch in ("tor0.0", "tor0.1")
+        ]
+        shared = {frozenset(tor_ids): 1.0}  # essentially no capacity
+        problem = _problem(topo, per_group=20_000.0, shared=shared)
+        with pytest.raises(InfeasiblePlanError):
+            solve_tor(problem)
+
+    def test_unshared_problem_unaffected(self, topo):
+        plain = _problem(topo, per_group=100.0)
+        shared = _problem(
+            topo, per_group=100.0, shared={frozenset({1}): 50_000.0}
+        )
+        assert (
+            solve_ilp(plain).rsnode_count == solve_ilp(shared).rsnode_count
+        )
+
+
+class TestHeterogeneousCapacities:
+    def test_override_changes_capacity(self, topo):
+        specs = _specs(topo, utilization_overrides={"core0": 0.9})
+        by_switch = {op.switch: op for op in specs}
+        assert by_switch["core0"].capacity == pytest.approx(90_000.0)
+        assert by_switch["core1"].capacity == pytest.approx(50_000.0)
+
+    def test_unknown_switch_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            _specs(topo, utilization_overrides={"ghost": 0.9})
+
+    def test_bad_override_value_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            _specs(topo, utilization_overrides={"core0": 0.0})
+
+    def test_plan_prefers_beefy_accelerator(self, topo):
+        """With only one accelerator able to hold everything, use it."""
+        specs = _specs(topo, utilization_overrides={"core3": 1.0})
+        # Total load 5 * 18k = 90k; normal operators hold 50k, core3 100k,
+        # so only the dedicated accelerator can take everything alone.
+        problem = _problem(topo, per_group=18_000.0, specs=specs)
+        plan = solve_ilp(problem)
+        by_id = {op.operator_id: op for op in problem.operators}
+        assert plan.rsnode_count == 1
+        assert by_id[plan.rsnode_ids[0]].switch == "core3"

@@ -1,0 +1,43 @@
+"""Tests for the codified paper-claims verifier (fast, tiny scale)."""
+
+import pytest
+
+from repro.experiments.claims import ClaimCheck, ClaimVerifier, format_claims
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    base = ExperimentConfig.tiny(seed=1, total_requests=1200)
+    return ClaimVerifier(base_config=base)
+
+
+class TestClaimVerifier:
+    def test_summary_cached(self, verifier):
+        first = verifier.summary("clirs")
+        second = verifier.summary("clirs")
+        assert first is second
+
+    def test_all_claims_structured(self, verifier):
+        checks = verifier.all_claims()
+        assert len(checks) == 7
+        assert len({c.claim_id for c in checks}) == 7
+        for check in checks:
+            assert isinstance(check, ClaimCheck)
+            assert check.details
+            assert isinstance(check.passed, bool)
+
+    def test_headline_claims_hold_even_at_tiny_scale(self, verifier):
+        """Ordering/reduction are robust; trend claims need more samples."""
+        ordering = verifier.claim_ordering()
+        assert "CliRS" in ordering.details
+
+    def test_format_claims(self, verifier):
+        checks = [
+            ClaimCheck("a", "desc", True, "fine"),
+            ClaimCheck("bb", "desc", False, "nope"),
+        ]
+        text = format_claims(checks)
+        assert "[PASS] a " in text
+        assert "[FAIL] bb" in text
+        assert "1/2 claims reproduced" in text

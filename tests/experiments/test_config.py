@@ -1,0 +1,120 @@
+"""Tests for experiment configuration and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    NETRS_SCHEMES,
+    SCHEMES,
+    ExperimentConfig,
+)
+
+
+class TestDerived:
+    def test_arrival_rate_matches_paper_definition(self):
+        """Paper profile: 0.9 * 100 * 4 / 4ms = 90,000 requests/s."""
+        config = ExperimentConfig.paper()
+        assert config.arrival_rate() == pytest.approx(90_000.0)
+
+    def test_effective_utilization(self):
+        """Paper: 2 * 0.9 / (1 + 3) = 45%."""
+        config = ExperimentConfig.paper()
+        assert config.effective_utilization() == pytest.approx(0.45)
+
+    def test_extra_hops_budget_is_fraction_of_rate(self):
+        config = ExperimentConfig.paper()
+        assert config.extra_hops_budget() == pytest.approx(0.2 * 90_000.0)
+
+    def test_prior_service_rate(self):
+        config = ExperimentConfig()
+        assert config.prior_service_rate() == pytest.approx(4 / 4e-3)
+
+    def test_warmup_requests(self):
+        config = ExperimentConfig(total_requests=1000, warmup_fraction=0.1)
+        assert config.warmup_requests() == 100
+
+    def test_total_hosts(self):
+        assert ExperimentConfig(fat_tree_k=16).total_hosts() == 1024
+        assert ExperimentConfig(fat_tree_k=8).total_hosts() == 128
+
+
+class TestSchemes:
+    def test_scheme_flags(self):
+        assert not ExperimentConfig(scheme="clirs").netrs
+        assert not ExperimentConfig(scheme="clirs").redundancy_enabled
+        assert ExperimentConfig(scheme="clirs-r95").redundancy_enabled
+        for scheme in NETRS_SCHEMES:
+            assert ExperimentConfig(scheme=scheme).netrs
+
+    def test_solver_mapping(self):
+        assert ExperimentConfig(scheme="netrs-ilp").solver == "ilp"
+        assert ExperimentConfig(scheme="netrs-tor").solver == "tor"
+        assert ExperimentConfig(scheme="netrs-greedy").solver == "greedy"
+        assert ExperimentConfig(scheme="netrs-core").solver == "core-only"
+
+    def test_all_schemes_valid(self):
+        for scheme in SCHEMES:
+            ExperimentConfig.tiny(scheme=scheme).validate()
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(scheme="bogus").validate()
+
+    def test_odd_fat_tree(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(fat_tree_k=5).validate()
+
+    def test_too_many_roles(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(
+                fat_tree_k=4, n_servers=10, n_clients=10
+            ).validate()
+
+    def test_servers_below_replication(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_servers=2, replication_factor=3).validate()
+
+    def test_skew_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(demand_skew=1.5).validate()
+
+    def test_warmup_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(warmup_fraction=1.0).validate()
+
+    def test_replace_validates(self):
+        config = ExperimentConfig.tiny()
+        with pytest.raises(ConfigurationError):
+            config.replace(scheme="bogus")
+
+    def test_replace_returns_copy(self):
+        config = ExperimentConfig.tiny()
+        other = config.replace(seed=9)
+        assert other.seed == 9
+        assert config.seed != 9
+
+
+class TestProfiles:
+    def test_paper_profile_dimensions(self):
+        config = ExperimentConfig.paper(scheme="netrs-ilp")
+        assert config.fat_tree_k == 16
+        assert config.n_servers == 100
+        assert config.n_clients == 500
+        assert config.total_requests == 6_000_000
+        assert config.key_space == 100_000_000
+        config.validate()
+
+    def test_small_profile_fits_topology(self):
+        config = ExperimentConfig.small()
+        assert config.n_servers + config.n_clients <= config.total_hosts()
+
+    def test_overrides_apply(self):
+        config = ExperimentConfig.small(scheme="netrs-tor", n_clients=16)
+        assert config.n_clients == 16
+        assert config.scheme == "netrs-tor"
+
+    def test_tiny_is_fast_sized(self):
+        config = ExperimentConfig.tiny()
+        assert config.total_requests <= 1000

@@ -1,0 +1,108 @@
+"""Tests for two-parameter grids and heatmap rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridResult, format_heatmap, run_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    base = ExperimentConfig.tiny(seed=1, total_requests=500)
+    return run_grid(
+        base,
+        row_parameter="utilization",
+        row_values=[0.4, 1.0],
+        column_parameter="n_clients",
+        column_values=[4, 8],
+        schemes=["clirs", "netrs-tor"],
+    )
+
+
+class TestRunGrid:
+    def test_full_cross_product(self, grid):
+        assert set(grid.cells) == {(0.4, 4), (0.4, 8), (1.0, 4), (1.0, 8)}
+        for cell in grid.cells.values():
+            assert set(cell) == {"clirs", "netrs-tor"}
+
+    def test_value_lookup(self, grid):
+        assert grid.value(0.4, 4, "clirs", "mean") > 0
+        with pytest.raises(ConfigurationError):
+            grid.value(0.5, 4, "clirs", "mean")
+
+    def test_reduction_at(self, grid):
+        cut = grid.reduction_at(1.0, 8, "clirs", "netrs-tor", "mean")
+        assert isinstance(cut, float)
+
+    def test_validation(self):
+        base = ExperimentConfig.tiny()
+        with pytest.raises(ConfigurationError):
+            run_grid(
+                base,
+                row_parameter="utilization",
+                row_values=[0.5],
+                column_parameter="utilization",
+                column_values=[0.5],
+                schemes=["clirs"],
+            )
+        with pytest.raises(ConfigurationError):
+            run_grid(
+                base,
+                row_parameter="nope",
+                row_values=[1],
+                column_parameter="n_clients",
+                column_values=[4],
+                schemes=["clirs"],
+            )
+        with pytest.raises(ConfigurationError):
+            run_grid(
+                base,
+                row_parameter="utilization",
+                row_values=[],
+                column_parameter="n_clients",
+                column_values=[4],
+                schemes=["clirs"],
+            )
+
+
+class TestHeatmap:
+    def test_absolute_mode(self, grid):
+        text = format_heatmap(grid, metric="mean", scheme="clirs")
+        assert "mean latency of clirs" in text
+        assert "utilization" in text
+        assert "n_clients" in text
+
+    def test_reduction_mode(self, grid):
+        text = format_heatmap(
+            grid, metric="mean", baseline="clirs", other="netrs-tor"
+        )
+        assert "reduction of netrs-tor vs clirs" in text
+
+    def test_mode_validation(self, grid):
+        with pytest.raises(ConfigurationError):
+            format_heatmap(grid, metric="mean")
+        with pytest.raises(ConfigurationError):
+            format_heatmap(grid, metric="mean", baseline="clirs")
+        with pytest.raises(ConfigurationError):
+            format_heatmap(grid, metric="p50", scheme="clirs")
+
+    def test_every_cell_rendered(self, grid):
+        text = format_heatmap(grid, metric="mean", scheme="clirs")
+        data_lines = [l for l in text.splitlines() if "|" in l and "---" not in l]
+        # Header + one line per row value.
+        assert len(data_lines) == 1 + len(grid.row_values)
+
+    def test_uniform_grid_does_not_crash(self):
+        grid = GridResult(
+            row_parameter="r",
+            column_parameter="c",
+            row_values=[1],
+            column_values=[2],
+            schemes=["clirs"],
+        )
+        grid.cells[(1, 2)] = {
+            "clirs": {"mean": 5.0, "p95": 5.0, "p99": 5.0, "p999": 5.0}
+        }
+        text = format_heatmap(grid, metric="mean", scheme="clirs")
+        assert "5.0" in text

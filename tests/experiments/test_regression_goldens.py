@@ -1,0 +1,49 @@
+"""Golden regression tests: exact results for fixed seeds.
+
+The simulation is fully deterministic for a given seed, so these values
+must not drift.  If a deliberate behavioural change moves them, re-record
+the goldens (`python -m tests.experiments.test_regression_goldens` prints
+fresh values) and explain the change in the commit.
+
+Unlike the shape tests these guard against *accidental* semantic changes --
+an off-by-one in queue handling, a reordered RNG draw -- that could silently
+alter results while still "looking right".
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+#: scheme -> (mean_ms, p99_ms, transmissions, rsnode_count)
+GOLDENS = {
+    "clirs": (2.5231663236202495, 12.601789163305439, 6500, 0),
+    "clirs-r95": (2.3937341439397897, 8.951745362420295, 7219, 0),
+    "netrs-tor": (2.5343442122893074, 14.689889904494255, 6444, 6),
+    "netrs-ilp": (2.42953678625917, 12.835605980737673, 6636, 4),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDENS))
+def test_tiny_seed42_unchanged(scheme):
+    result = run_experiment(ExperimentConfig.tiny(scheme=scheme, seed=42))
+    mean_ms, p99_ms, transmissions, rsnodes = GOLDENS[scheme]
+    summary = result.summary()
+    assert summary["mean"] == pytest.approx(mean_ms, rel=1e-12)
+    assert summary["p99"] == pytest.approx(p99_ms, rel=1e-12)
+    assert result.transmissions == transmissions
+    assert result.rsnode_count == rsnodes
+
+
+def _print_goldens():  # pragma: no cover - manual re-recording helper
+    for scheme in sorted(GOLDENS):
+        result = run_experiment(ExperimentConfig.tiny(scheme=scheme, seed=42))
+        summary = result.summary()
+        print(
+            f'    "{scheme}": ({summary["mean"]!r}, {summary["p99"]!r}, '
+            f"{result.transmissions}, {result.rsnode_count}),"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _print_goldens()

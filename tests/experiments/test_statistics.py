@@ -1,0 +1,115 @@
+"""Tests for confidence intervals and paired scheme comparisons."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.statistics import (
+    Estimate,
+    mean_and_ci,
+    paired_comparison,
+)
+from repro.experiments.sweep import run_sweep
+
+
+class TestMeanAndCi:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_and_ci([])
+
+    def test_confidence_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            mean_and_ci([1.0, 2.0], confidence=1.5)
+
+    def test_single_sample_infinite_interval(self):
+        estimate = mean_and_ci([3.0])
+        assert estimate.mean == 3.0
+        assert math.isinf(estimate.half_width)
+
+    def test_identical_samples_zero_width(self):
+        estimate = mean_and_ci([2.0, 2.0, 2.0])
+        assert estimate.mean == 2.0
+        assert estimate.half_width == 0.0
+
+    def test_interval_contains_true_mean_usually(self):
+        """~95% of intervals from N(10, 2) samples should cover 10."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            samples = rng.normal(10.0, 2.0, size=10)
+            estimate = mean_and_ci(list(samples))
+            if estimate.low <= 10.0 <= estimate.high:
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = mean_and_ci(list(rng.normal(0, 1, size=5)))
+        large = mean_and_ci(list(rng.normal(0, 1, size=100)))
+        assert large.half_width < small.half_width
+
+    def test_str_format(self):
+        assert "+/-" in str(Estimate(1.0, 0.1, 0.95, 5))
+
+
+class TestPairedComparison:
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_needs_two_pairs(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0], [2.0])
+
+    def test_clear_improvement_is_significant(self):
+        baseline = [10.0, 11.0, 10.5, 10.8, 10.2]
+        other = [5.0, 5.5, 5.2, 5.4, 5.1]
+        comparison = paired_comparison(baseline, other)
+        assert comparison.other_is_faster
+        assert comparison.significant
+        assert comparison.mean_difference == pytest.approx(5.26, rel=0.01)
+
+    def test_noise_is_not_significant(self):
+        rng = np.random.default_rng(2)
+        baseline = list(rng.normal(10, 1, size=5))
+        other = [b + rng.normal(0, 0.01) for b in baseline]
+        comparison = paired_comparison(baseline, other)
+        assert not comparison.significant
+
+    def test_constant_difference(self):
+        comparison = paired_comparison([2.0, 3.0], [1.0, 2.0])
+        assert comparison.mean_difference == 1.0
+        assert comparison.p_value == 0.0
+
+
+class TestSweepStatistics:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = ExperimentConfig.tiny(seed=1, total_requests=800)
+        return run_sweep(
+            base,
+            parameter="utilization",
+            values=[0.9],
+            schemes=["clirs", "netrs-tor"],
+            repetitions=3,
+        )
+
+    def test_raw_repetitions_stored(self, sweep):
+        assert len(sweep.raw[(0.9, "clirs")]) == 3
+
+    def test_confidence_interval(self, sweep):
+        estimate = sweep.confidence_interval(0.9, "clirs", "mean")
+        assert estimate.samples == 3
+        assert estimate.low <= estimate.mean <= estimate.high
+
+    def test_compare_schemes(self, sweep):
+        comparison = sweep.compare_schemes(0.9, "clirs", "netrs-tor", "mean")
+        assert isinstance(comparison.p_value, float)
+
+    def test_missing_raw_raises(self, sweep):
+        with pytest.raises(ConfigurationError):
+            sweep.confidence_interval(0.1, "clirs", "mean")

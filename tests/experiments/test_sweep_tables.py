@@ -1,0 +1,216 @@
+"""Tests for sweeps, metrics helpers, tables and figure definitions."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.metrics import (
+    METRICS,
+    mean_of_summaries,
+    reduction,
+    summary_reduction,
+)
+from repro.experiments.sweep import run_sweep
+from repro.experiments.tables import (
+    figure_series,
+    format_figure,
+    format_metric_table,
+    format_reductions,
+)
+
+
+class TestMetrics:
+    def test_reduction_positive_when_faster(self):
+        assert reduction(10.0, 5.0) == pytest.approx(50.0)
+
+    def test_reduction_negative_when_slower(self):
+        assert reduction(10.0, 12.0) == pytest.approx(-20.0)
+
+    def test_reduction_nan_on_bad_baseline(self):
+        assert math.isnan(reduction(0.0, 5.0))
+        assert math.isnan(reduction(float("nan"), 5.0))
+
+    def test_summary_reduction(self):
+        baseline = {m: 10.0 for m in METRICS}
+        other = {m: 5.0 for m in METRICS}
+        assert summary_reduction(baseline, other) == {
+            m: pytest.approx(50.0) for m in METRICS
+        }
+
+    def test_mean_of_summaries(self):
+        merged = mean_of_summaries([{"mean": 1.0}, {"mean": 3.0}])
+        assert merged == {"mean": 2.0}
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_of_summaries([])
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = ExperimentConfig.tiny(seed=1, total_requests=1500)
+    return run_sweep(
+        base,
+        parameter="utilization",
+        values=[0.3, 1.0],
+        schemes=["clirs", "netrs-tor"],
+        repetitions=1,
+    )
+
+
+class TestRunSweep:
+    def test_grid_complete(self, small_sweep):
+        assert set(small_sweep.cells) == {
+            (0.3, "clirs"),
+            (0.3, "netrs-tor"),
+            (1.0, "clirs"),
+            (1.0, "netrs-tor"),
+        }
+
+    def test_series_extraction(self, small_sweep):
+        series = small_sweep.series("clirs", "mean")
+        assert len(series) == 2
+        assert all(v > 0 for v in series)
+
+    def test_latency_rises_with_utilization(self, small_sweep):
+        for scheme in ("clirs", "netrs-tor"):
+            series = small_sweep.series(scheme, "mean")
+            assert series[1] > series[0]
+
+    def test_missing_cell_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.summary(0.5, "clirs")
+
+    def test_unknown_metric_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.series("clirs", "p50")
+
+    def test_extras_tracked(self, small_sweep):
+        extras = small_sweep.extras[(1.0, "netrs-tor")]
+        assert extras["rsnode_count"] >= 1
+
+    def test_validation(self):
+        base = ExperimentConfig.tiny()
+        with pytest.raises(ConfigurationError):
+            run_sweep(base, parameter="utilization", values=[], schemes=["clirs"])
+        with pytest.raises(ConfigurationError):
+            run_sweep(base, parameter="nope", values=[1], schemes=["clirs"])
+
+    def test_repetitions_average(self):
+        base = ExperimentConfig.tiny(seed=1)
+        sweep = run_sweep(
+            base,
+            parameter="utilization",
+            values=[0.7],
+            schemes=["clirs"],
+            repetitions=2,
+        )
+        merged = sweep.summary(0.7, "clirs")
+        single = run_sweep(
+            base,
+            parameter="utilization",
+            values=[0.7],
+            schemes=["clirs"],
+            repetitions=1,
+        ).summary(0.7, "clirs")
+        assert merged != single  # averaging two seeds changes the numbers
+
+
+class TestTables:
+    def test_metric_table_contains_values(self, small_sweep):
+        text = format_metric_table(small_sweep, "mean")
+        assert "CliRS" in text
+        assert "NetRS-ToR" in text
+        assert "0.3" in text and "1.0" in text
+
+    def test_format_figure_has_all_metrics(self, small_sweep):
+        text = format_figure(small_sweep, title="test figure")
+        assert text.startswith("test figure")
+        for label in ("Avg.", "95th", "99th", "99.9th"):
+            assert label in text
+
+    def test_format_reductions(self, small_sweep):
+        text = format_reductions(
+            small_sweep, baseline="clirs", target="netrs-tor"
+        )
+        assert "latency reduction" in text
+
+    def test_figure_series_shape(self, small_sweep):
+        data = figure_series(small_sweep)
+        assert set(data) == set(METRICS)
+        assert set(data["mean"]) == {"clirs", "netrs-tor"}
+
+
+class TestFigureSpecs:
+    def test_all_figures_defined(self):
+        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7"}
+
+    def test_fig4_sweeps_clients(self):
+        spec = FIGURES["fig4"]
+        assert spec.parameter == "n_clients"
+        assert spec.paper_values == (100, 300, 500, 700)
+
+    def test_values_profile_selection(self):
+        spec = FIGURES["fig4"]
+        assert spec.values("paper") == (100, 300, 500, 700)
+        assert spec.values("small") == (16, 32, 64, 96)
+        with pytest.raises(ConfigurationError):
+            spec.values("huge")
+
+    def test_run_figure_tiny(self):
+        """End-to-end figure run on a tiny override grid."""
+        sweep = run_figure(
+            "fig6",
+            profile="small",
+            seed=1,
+            total_requests=400,
+            values=[0.5],
+            schemes=["clirs", "netrs-tor"],
+        )
+        assert sweep.parameter == "utilization"
+        assert (0.5, "clirs") in sweep.cells
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("fig9")
+
+
+class TestBarAndMarkdownRendering:
+    def test_bars_scale_and_label(self, small_sweep):
+        from repro.experiments.tables import format_bars
+
+        text = format_bars(small_sweep, "mean", width=20)
+        assert "CliRS" in text and "NetRS-ToR" in text
+        assert "#" in text
+        longest = max(line.count("#") for line in text.splitlines())
+        assert longest == 20  # the peak value owns the full width
+
+    def test_bars_reject_unknown_metric(self, small_sweep):
+        from repro.experiments.tables import format_bars
+
+        with pytest.raises(KeyError):
+            format_bars(small_sweep, "p50")
+
+    def test_markdown_report_structure(self, small_sweep):
+        from repro.experiments.tables import format_markdown_report
+
+        text = format_markdown_report(small_sweep, title="Test figure")
+        assert text.startswith("## Test figure")
+        assert "| utilization |" in text
+        assert text.count("|") > 20
+
+    def test_markdown_report_includes_reductions_when_possible(self):
+        base = ExperimentConfig.tiny(seed=1, total_requests=400)
+        sweep = run_sweep(
+            base,
+            parameter="utilization",
+            values=[0.5],
+            schemes=["clirs", "netrs-ilp"],
+        )
+        from repro.experiments.tables import format_markdown_report
+
+        text = format_markdown_report(sweep, title="t")
+        assert "Reductions" in text

@@ -1,0 +1,162 @@
+"""Integration tests: full-system invariants across whole runs."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import build_scenario
+from repro.network.packet import RSNODE_ILLEGAL
+
+
+def _run(scheme, seed=1, **overrides):
+    config = ExperimentConfig.tiny(scheme=scheme, seed=seed, **overrides)
+    return run_experiment(config, keep_scenario=True)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("scheme", ["clirs", "netrs-tor", "netrs-ilp"])
+    def test_requests_equal_server_arrivals_and_responses(self, scheme):
+        result = _run(scheme)
+        scenario = result.scenario
+        total = scenario.config.total_requests
+        arrivals = sum(s.arrivals for s in scenario.servers.values())
+        completions = sum(s.completions for s in scenario.servers.values())
+        assert arrivals == total
+        assert completions == total
+        received = sum(c.responses_received for c in scenario.clients)
+        assert received == total
+
+    def test_r95_duplicates_add_server_load(self):
+        result = _run("clirs-r95", utilization=1.2, total_requests=900)
+        scenario = result.scenario
+        arrivals = sum(s.arrivals for s in scenario.servers.values())
+        assert arrivals == scenario.config.total_requests + result.redundant_requests
+
+    def test_all_servers_participate(self):
+        result = _run("netrs-ilp")
+        scenario = result.scenario
+        assert all(s.arrivals > 0 for s in scenario.servers.values())
+
+    def test_replicas_respect_ring_membership(self):
+        result = _run("netrs-ilp")
+        scenario = result.scenario
+        assert set(scenario.servers) == set(scenario.ring.servers)
+
+
+class TestNetrsDataPlane:
+    def test_all_selections_happen_at_planned_rsnodes(self):
+        result = _run("netrs-ilp")
+        scenario = result.scenario
+        plan = scenario.plan
+        planned_switches = {
+            scenario.controller.operators[oid].spec.switch
+            for oid in plan.rsnode_ids
+        }
+        for name, switch in scenario.switches.items():
+            if switch.requests_selected > 0:
+                assert name in planned_switches
+        total_selected = sum(
+            s.requests_selected for s in scenario.switches.values()
+        )
+        assert total_selected == scenario.config.total_requests
+
+    def test_responses_cloned_once_per_request(self):
+        result = _run("netrs-tor")
+        scenario = result.scenario
+        cloned = sum(s.responses_cloned for s in scenario.switches.values())
+        assert cloned == scenario.config.total_requests
+
+    def test_monitors_count_every_response(self):
+        result = _run("netrs-ilp")
+        scenario = result.scenario
+        observed = sum(
+            m.observed for m in scenario.controller.monitors.values()
+        )
+        assert observed == scenario.config.total_requests
+
+    def test_monitor_traffic_matches_group_rates(self):
+        result = _run("netrs-ilp")
+        scenario = result.scenario
+        counts = {}
+        for monitor in scenario.controller.monitors.values():
+            for gid, tiers in monitor.counts().items():
+                counts[gid] = counts.get(gid, 0) + sum(tiers)
+        assert sum(counts.values()) == scenario.config.total_requests
+
+    def test_netrs_latency_includes_selector_service(self):
+        """Every request pays at least the accelerator round trip."""
+        result = _run("netrs-tor")
+        config = result.config
+        floor = (
+            4 * config.host_link_latency  # client<->ToR, server<->ToR
+            + 2 * config.accelerator_link_delay
+            + config.accelerator_service_time
+        )
+        assert min(result.latency.samples) >= floor
+
+
+class TestDegradedOperation:
+    def test_drs_whole_run_completes(self):
+        """All groups degraded: every request goes to the client backup."""
+        config = ExperimentConfig.tiny(scheme="netrs-ilp", seed=1)
+        scenario = build_scenario(config)
+        controller = scenario.controller
+        controller.degrade_groups([g.group_id for g in controller.groups])
+        result = run_experiment(config, scenario=scenario, keep_scenario=True)
+        assert result.completed_requests == config.total_requests
+        # Nothing was selected in-network.
+        assert all(
+            s.requests_selected == 0 for s in scenario.switches.values()
+        )
+        # Monitors still observed the DRS responses.
+        observed = sum(m.observed for m in controller.monitors.values())
+        assert observed == config.total_requests
+
+    def test_operator_failure_mid_run_completes(self):
+        config = ExperimentConfig.tiny(scheme="netrs-ilp", seed=1)
+        scenario = build_scenario(config)
+        controller = scenario.controller
+        victim = scenario.plan.rsnode_ids[0]
+        # Fail the operator a third of the way into the run.
+        horizon = config.total_requests / config.arrival_rate() / 3
+        scenario.env.call_in(
+            horizon, controller.handle_operator_failure, victim
+        )
+        result = run_experiment(config, scenario=scenario, keep_scenario=True)
+        assert result.completed_requests == config.total_requests
+        assert controller.failures_handled == 1
+        degraded = controller.current_plan.drs_groups
+        assert degraded
+        for gid in degraded:
+            group = controller.groups_by_id[gid]
+            tor = scenario.switches[group.tor]
+            assert tor.rsnode_of_group(gid) == RSNODE_ILLEGAL
+
+    def test_replanning_run_completes(self):
+        result = _run("netrs-ilp", replan_period=0.05)
+        assert result.completed_requests == result.config.total_requests
+        assert result.scenario.controller.replans >= 1
+
+
+class TestSchemeEquivalences:
+    def test_same_seed_same_deployment_across_schemes(self):
+        a = build_scenario(ExperimentConfig.tiny(scheme="clirs", seed=9))
+        b = build_scenario(ExperimentConfig.tiny(scheme="netrs-ilp", seed=9))
+        assert a.client_hosts == b.client_hosts
+        assert a.server_hosts == b.server_hosts
+
+    def test_workload_identical_across_schemes(self):
+        a = _run("clirs", seed=9)
+        b = _run("netrs-tor", seed=9)
+        assert (
+            a.scenario.workload.per_client_counts
+            == b.scenario.workload.per_client_counts
+        )
+
+
+class TestDemandSkew:
+    def test_skew_realized_in_issue_counts(self):
+        result = _run("clirs", demand_skew=0.9, total_requests=1000)
+        workload = result.scenario.workload
+        achieved = workload.weights.achieved_skew(workload.per_client_counts)
+        assert achieved == pytest.approx(0.9, abs=0.08)

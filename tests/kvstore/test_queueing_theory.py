@@ -1,0 +1,112 @@
+"""Quantitative validation of the server model against M/M/c theory.
+
+The KV server with a *stable* service model and Poisson arrivals is an
+M/M/c queue (c = Np).  Erlang-C gives closed-form waiting times; if the
+simulated substrate does not reproduce them, every latency number downstream
+is suspect.  These tests drive a single server open-loop and compare.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kvstore.fluctuation import StableService
+from repro.kvstore.server import KVServer
+from repro.network.packet import make_request
+from repro.sim import Environment
+
+
+class CollectingHost:
+    def __init__(self, name="server0"):
+        self.name = name
+        self.endpoint = None
+        self.responses = []
+
+    def bind(self, endpoint):
+        self.endpoint = endpoint
+
+    def send(self, packet):
+        self.responses.append(packet)
+
+
+def erlang_c_wait(arrival_rate, service_rate, servers):
+    """Expected M/M/c waiting time (Erlang C formula)."""
+    a = arrival_rate / service_rate  # offered load
+    rho = a / servers
+    if rho >= 1:
+        raise ValueError("unstable queue")
+    summation = sum(a**k / math.factorial(k) for k in range(servers))
+    numerator = a**servers / (math.factorial(servers) * (1 - rho))
+    p_wait = numerator / (summation + numerator)
+    return p_wait / (servers * service_rate - arrival_rate)
+
+
+def _drive(env, server, arrival_rate, total, rng):
+    state = {"sent": 0}
+
+    def arrival():
+        request = make_request(
+            client="client0",
+            request_id=state["sent"],
+            key=state["sent"],
+            rgid=1,
+            backup_replica="server0",
+            issued_at=env.now,
+            netrs=False,
+            dst="server0",
+        )
+        server.handle_packet(request)
+        state["sent"] += 1
+        if state["sent"] < total:
+            env.call_in(rng.exponential(1.0 / arrival_rate), arrival)
+
+    env.call_in(rng.exponential(1.0 / arrival_rate), arrival)
+
+
+@pytest.mark.parametrize(
+    "utilization,parallelism",
+    [(0.5, 1), (0.8, 1), (0.5, 4), (0.8, 4)],
+)
+def test_waiting_time_matches_erlang_c(utilization, parallelism):
+    mean_service = 4e-3
+    service_rate = 1.0 / mean_service
+    arrival_rate = utilization * parallelism * service_rate
+    env = Environment()
+    host = CollectingHost()
+    server = KVServer(
+        env,
+        host,
+        service_model=StableService(mean_service),
+        parallelism=parallelism,
+        rng=np.random.default_rng(7),
+    )
+    _drive(env, server, arrival_rate, total=40_000, rng=np.random.default_rng(8))
+    env.run()
+    waits = [p.server_queue_delay for p in host.responses]
+    # Drop the warmup fifth.
+    waits = waits[len(waits) // 5 :]
+    expected = erlang_c_wait(arrival_rate, service_rate, parallelism)
+    measured = sum(waits) / len(waits)
+    assert measured == pytest.approx(expected, rel=0.12)
+
+
+def test_service_times_are_exponential():
+    env = Environment()
+    host = CollectingHost()
+    server = KVServer(
+        env,
+        host,
+        service_model=StableService(2e-3),
+        parallelism=2,
+        rng=np.random.default_rng(11),
+    )
+    _drive(env, server, arrival_rate=100.0, total=20_000, rng=np.random.default_rng(12))
+    env.run()
+    samples = np.array([p.server_service_time for p in host.responses])
+    assert samples.mean() == pytest.approx(2e-3, rel=0.05)
+    # Exponential: std == mean, CV == 1.
+    assert samples.std() / samples.mean() == pytest.approx(1.0, abs=0.05)
+    # Memoryless check via the survival function at one mean.
+    survival = (samples > 2e-3).mean()
+    assert survival == pytest.approx(math.exp(-1), abs=0.03)

@@ -1,0 +1,173 @@
+"""Tests for the KV server: queueing, parallelism, status piggyback."""
+
+import numpy as np
+import pytest
+
+from repro.kvstore.fluctuation import StableService
+from repro.kvstore.server import KVServer
+from repro.network.packet import MAGIC_PLAIN, make_request
+from repro.sim import Environment
+
+
+class StubHost:
+    """Host double capturing outgoing packets."""
+
+    def __init__(self, name="server0"):
+        self.name = name
+        self.sent = []
+        self.endpoint = None
+
+    def bind(self, endpoint):
+        self.endpoint = endpoint
+
+    def send(self, packet):
+        self.sent.append((packet, len(self.sent)))
+
+
+def _request(request_id=1, client="client0"):
+    return make_request(
+        client=client,
+        request_id=request_id,
+        key=request_id,
+        rgid=1,
+        backup_replica="server0",
+        issued_at=0.0,
+        netrs=False,
+        dst="server0",
+    )
+
+
+def _server(env, host, mean=1e-3, parallelism=2, seed=0):
+    return KVServer(
+        env,
+        host,
+        service_model=StableService(mean),
+        parallelism=parallelism,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestValidation:
+    def test_parallelism_positive(self):
+        with pytest.raises(ValueError):
+            _server(Environment(), StubHost(), parallelism=0)
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            KVServer(
+                Environment(),
+                StubHost(),
+                service_model=StableService(1e-3),
+                rng=np.random.default_rng(0),
+                rate_ewma_alpha=1.0,
+            )
+
+
+class TestServicing:
+    def test_every_request_gets_a_response(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host)
+        for i in range(10):
+            server.handle_packet(_request(i))
+        env.run()
+        assert len(host.sent) == 10
+        assert server.completions == 10
+        assert server.queue_size == 0
+
+    def test_response_addresses_the_client(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host)
+        server.handle_packet(_request(5, client="clientX"))
+        env.run()
+        response, _ = host.sent[0]
+        assert response.dst == "clientX"
+        assert response.request_id == 5
+        assert response.server == "server0"
+        assert response.magic == MAGIC_PLAIN
+
+    def test_parallelism_limits_in_service(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host, parallelism=2)
+        for i in range(6):
+            server.handle_packet(_request(i))
+        assert server.queue_size == 6
+        assert server._in_service == 2
+        env.run()
+        assert server.max_queue_seen == 6
+
+    def test_mean_service_time_approximate(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host, mean=2e-3, parallelism=1, seed=42)
+        n = 2000
+
+        def feed(i=0):
+            # Closed-loop feeding: next request as the previous completes.
+            if i < n:
+                server.handle_packet(_request(i))
+                env.call_in(2e-3 * 50, feed, i + 1)  # generous spacing
+
+        # Open-loop all at once is fine too; service times are iid.
+        for i in range(n):
+            server.handle_packet(_request(i))
+        env.run()
+        total_busy = env.now  # single worker busy continuously
+        assert total_busy / n == pytest.approx(2e-3, rel=0.1)
+
+    def test_status_piggybacked(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host)
+        for i in range(4):
+            server.handle_packet(_request(i))
+        env.run()
+        response, _ = host.sent[0]
+        status = response.server_status
+        assert status is not None
+        assert status.queue_size >= 0
+        assert status.service_rate > 0
+
+    def test_queue_size_in_status_reflects_backlog(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host, parallelism=1)
+        for i in range(5):
+            server.handle_packet(_request(i))
+        env.run()
+        # First response departs while 4 requests remain behind it.
+        first_status = host.sent[0][0].server_status
+        last_status = host.sent[-1][0].server_status
+        assert first_status.queue_size == 4
+        assert last_status.queue_size == 0
+
+    def test_service_rate_estimate_converges(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host, mean=1e-3, parallelism=4, seed=3)
+        for i in range(3000):
+            server.handle_packet(_request(i))
+        env.run()
+        # Rate = parallelism / mean = 4000 req/s, EWMA should be in range.
+        assert server.service_rate_estimate == pytest.approx(4000, rel=0.5)
+
+    def test_arrivals_counter(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host)
+        for i in range(3):
+            server.handle_packet(_request(i))
+        env.run()
+        assert server.arrivals == 3
+
+    def test_fifo_completion_order_single_worker(self):
+        env = Environment()
+        host = StubHost()
+        server = _server(env, host, parallelism=1)
+        for i in range(5):
+            server.handle_packet(_request(i))
+        env.run()
+        ids = [p.request_id for p, _ in host.sent]
+        assert ids == [0, 1, 2, 3, 4]

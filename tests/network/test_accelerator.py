@@ -1,0 +1,120 @@
+"""Tests for the network accelerator model."""
+
+import pytest
+
+from repro.network.accelerator import Accelerator
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _make(env, cores=1, service=5e-6, link=1.25e-6):
+    return Accelerator(
+        env, "acc", cores=cores, service_time=service, link_delay=link
+    )
+
+
+class TestValidation:
+    def test_cores_positive(self, env):
+        with pytest.raises(ValueError):
+            _make(env, cores=0)
+
+    def test_service_time_positive(self, env):
+        with pytest.raises(ValueError):
+            _make(env, service=0.0)
+
+    def test_link_delay_non_negative(self, env):
+        with pytest.raises(ValueError):
+            _make(env, link=-1e-9)
+
+
+class TestProcessing:
+    def test_single_packet_timing(self, env):
+        acc = _make(env)
+        done = []
+        acc.submit("p", work=lambda p: p, done=lambda p: done.append(env.now))
+        env.run()
+        # link + service + link = 1.25 + 5 + 1.25 us
+        assert done == [pytest.approx(7.5e-6)]
+
+    def test_work_transforms_packet(self, env):
+        acc = _make(env)
+        results = []
+        acc.submit(1, work=lambda p: p + 10, done=results.append)
+        env.run()
+        assert results == [11]
+
+    def test_absorbing_work_skips_done(self, env):
+        acc = _make(env)
+        results = []
+        acc.submit(1, work=lambda p: None, done=results.append)
+        env.run()
+        assert results == []
+        assert acc.processed == 1
+
+    def test_fifo_queueing_single_core(self, env):
+        acc = _make(env)
+        finish_times = []
+        for i in range(3):
+            acc.submit(i, work=lambda p: p, done=lambda p: finish_times.append(env.now))
+        env.run()
+        # Arrivals at 1.25us; service completions at 6.25, 11.25, 16.25 (+link).
+        assert finish_times == [
+            pytest.approx(7.5e-6),
+            pytest.approx(12.5e-6),
+            pytest.approx(17.5e-6),
+        ]
+
+    def test_multicore_parallelism(self, env):
+        acc = _make(env, cores=2)
+        finish_times = []
+        for i in range(2):
+            acc.submit(i, work=lambda p: p, done=lambda p: finish_times.append(env.now))
+        env.run()
+        assert finish_times == [pytest.approx(7.5e-6), pytest.approx(7.5e-6)]
+
+    def test_queue_length_peak_tracked(self, env):
+        acc = _make(env)
+        for i in range(5):
+            acc.submit(i, work=lambda p: p)
+        env.run()
+        assert acc.max_queue_seen == 4
+        assert acc.queue_length == 0
+
+    def test_processed_counter(self, env):
+        acc = _make(env)
+        for i in range(4):
+            acc.submit(i, work=lambda p: p)
+        env.run()
+        assert acc.processed == 4
+
+
+class TestUtilization:
+    def test_capacity(self, env):
+        acc = _make(env, cores=2, service=5e-6)
+        assert acc.capacity == pytest.approx(400_000.0)
+
+    def test_utilization_fraction(self, env):
+        acc = _make(env)
+        acc.submit(1, work=lambda p: p)
+        env.run()
+        env.call_in(2.5e-6 + 5e-6, lambda: None)  # extend the clock window
+        env.run()
+        util = acc.utilization()
+        assert 0 < util <= 1
+
+    def test_reset_utilization(self, env):
+        acc = _make(env)
+        acc.submit(1, work=lambda p: p)
+        env.run()
+        acc.reset_utilization()
+        assert acc.utilization() == 0.0
+
+    def test_idle_utilization_zero(self, env):
+        acc = _make(env)
+        env.call_in(1.0, lambda: None)
+        env.run()
+        assert acc.utilization() == 0.0

@@ -1,0 +1,104 @@
+"""Routing and placement on degenerate trees (the paper's n-tier claim).
+
+"Besides the 3-tier topology ... our algorithm is applicable to n-tier
+tree-based topologies."  We exercise the limiting shapes build_tree can
+express: a single-pod tree (effectively 2-tier leaf-spine with a thin core)
+and a single-rack tree.
+"""
+
+import pytest
+
+from repro.core.placement import solve_greedy, solve_ilp, solve_tor
+from repro.core.placement.problem import PlacementProblem, build_operator_specs
+from repro.core.plan import make_traffic_groups
+from repro.network.routing import Router
+from repro.network.topology import NodeKind, build_tree
+
+
+@pytest.fixture(scope="module")
+def single_pod():
+    """One pod, four racks, spine of 3 aggregation switches, 1 core."""
+    return build_tree(
+        pods=1, racks_per_pod=4, hosts_per_rack=3, aggs_per_pod=3, cores=1
+    )
+
+
+@pytest.fixture(scope="module")
+def single_rack():
+    """The smallest tree: one rack behind one ToR."""
+    return build_tree(
+        pods=1, racks_per_pod=1, hosts_per_rack=6, aggs_per_pod=1, cores=1
+    )
+
+
+class TestSinglePodRouting:
+    def test_intra_pod_paths(self, single_pod):
+        router = Router(single_pod)
+        path = router.path("host0.0.0", "host0.3.2", flow_key=5)
+        assert len(path) == 4  # tor, agg, tor, host
+        kinds = [single_pod.node(n).kind for n in path]
+        assert kinds[1] is NodeKind.AGG
+
+    def test_waypoint_through_core(self, single_pod):
+        router = Router(single_pod)
+        up = router.path("tor0.1", "core0", flow_key=3)
+        down = router.path("core0", "host0.2.0", flow_key=3)
+        assert up[-1] == "core0"
+        assert down[-1] == "host0.2.0"
+
+    def test_ecmp_spreads_over_spine(self, single_pod):
+        router = Router(single_pod)
+        aggs = {
+            router.path("host0.0.0", "host0.1.0", flow_key=k)[1]
+            for k in range(32)
+        }
+        assert len(aggs) == 3  # all spine switches used
+
+
+class TestSingleRackRouting:
+    def test_everything_is_one_hop(self, single_rack):
+        router = Router(single_rack)
+        path = router.path("host0.0.0", "host0.0.5", flow_key=1)
+        assert path == ["tor0.0", "host0.0.5"]
+        assert router.hop_count("host0.0.0", "host0.0.5") == 1
+
+
+class TestPlacementOnDegenerateTrees:
+    def _problem(self, topo, clients, budget):
+        groups = make_traffic_groups(topo, clients)
+        operators = build_operator_specs(
+            topo,
+            accelerator_cores=1,
+            accelerator_service_time=5e-6,
+            max_utilization=0.5,
+        )
+        traffic = {g.group_id: (0.0, 800.0, 200.0) for g in groups}
+        return PlacementProblem(
+            groups=groups,
+            operators=operators,
+            traffic=traffic,
+            extra_hops_budget=budget,
+        )
+
+    def test_single_pod_ilp(self, single_pod):
+        clients = ["host0.0.0", "host0.1.0", "host0.2.0", "host0.3.0"]
+        problem = self._problem(single_pod, clients, budget=10**9)
+        plan = solve_ilp(problem)
+        problem.check_assignment(plan.assignments)
+        assert plan.rsnode_count == 1  # one spine/core node covers the pod
+
+    def test_single_pod_tight_budget(self, single_pod):
+        clients = ["host0.0.0", "host0.1.0", "host0.2.0", "host0.3.0"]
+        problem = self._problem(single_pod, clients, budget=0.0)
+        plan = solve_ilp(problem)
+        # Zero budget with intra-rack traffic forces per-rack ToR RSNodes.
+        by_id = {op.operator_id: op for op in problem.operators}
+        assert all(by_id[oid].tier == 2 for oid in plan.rsnode_ids)
+
+    def test_single_rack_all_solvers(self, single_rack):
+        clients = ["host0.0.0", "host0.0.1"]
+        problem = self._problem(single_rack, clients, budget=10**9)
+        for solver in (solve_ilp, solve_greedy, solve_tor):
+            plan = solver(problem)
+            assert plan.rsnode_count == 1
+            problem.check_assignment(plan.assignments)

@@ -1,0 +1,154 @@
+"""Stateful property tests: engine primitives against reference models."""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sim import Environment, Resource, Store
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Store must behave like a FIFO queue with blocking getters."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.store = Store(self.env)
+        self.model = deque()
+        self.pending_gets = deque()  # events awaiting items
+        self.delivered = []
+        self.expected = []
+
+    @rule(item=st.integers())
+    def put(self, item):
+        if self.pending_gets:
+            # The oldest blocked getter must receive this item.
+            self.expected.append(item)
+            self.pending_gets.popleft()
+        else:
+            self.model.append(item)
+        self.store.put(item)
+
+    @rule()
+    def get(self):
+        event = self.store.get()
+        if self.model:
+            expected = self.model.popleft()
+            assert event.triggered
+            assert event.value == expected
+        else:
+            assert not event.triggered
+            event.add_callback(lambda e: self.delivered.append(e.value))
+            self.pending_gets.append(event)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.store) == len(self.model)
+
+    def teardown(self):
+        self.env.run()
+        assert self.delivered == self.expected
+
+
+class ResourceMachine(RuleBasedStateMachine):
+    """Resource must never exceed capacity and must grant FIFO."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.capacity = 3
+        self.resource = Resource(self.env, self.capacity)
+        self.held = 0
+        self.waiting = deque()
+        self.granted_order = []
+        self.request_counter = 0
+
+    @rule()
+    def request(self):
+        self.request_counter += 1
+        tag = self.request_counter
+        event = self.resource.request()
+        if self.held < self.capacity and not self.waiting:
+            assert event.triggered
+            self.held += 1
+            self.granted_order.append(tag)
+        else:
+            assert not event.triggered
+            event.add_callback(
+                lambda e, t=tag: self.granted_order.append(t)
+            )
+            self.waiting.append(tag)
+
+    @precondition(lambda self: self.held > 0)
+    @rule()
+    def release(self):
+        self.resource.release()
+        if self.waiting:
+            expected = self.waiting.popleft()
+            self.env.run()
+            assert self.granted_order[-1] == expected
+        else:
+            self.held -= 1
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.resource.in_use <= self.capacity
+        assert self.resource.queue_length == len(self.waiting)
+
+
+class EnvironmentClockMachine(RuleBasedStateMachine):
+    """The clock is monotone and callbacks never run early or twice."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.fired = {}
+        self.scheduled = {}
+        self.counter = 0
+
+    @rule(delay=st.floats(min_value=0, max_value=10))
+    def schedule(self, delay):
+        self.counter += 1
+        tag = self.counter
+        when = self.env.now + delay
+        self.scheduled[tag] = when
+
+        def fire(t=tag):
+            assert t not in self.fired, "callback ran twice"
+            self.fired[t] = self.env.now
+
+        self.env.call_in(delay, fire)
+
+    @rule(step=st.floats(min_value=0, max_value=5))
+    def advance(self, step):
+        before = self.env.now
+        self.env.run(until=before + step)
+        assert self.env.now == before + step
+
+    @invariant()
+    def fired_on_time(self):
+        for tag, at in self.fired.items():
+            expected = self.scheduled[tag]
+            assert abs(at - expected) < 1e-9
+
+    def teardown(self):
+        self.env.run()
+        assert set(self.fired) == set(self.scheduled)
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestResourceMachine = ResourceMachine.TestCase
+TestEnvironmentClockMachine = EnvironmentClockMachine.TestCase
+
+TestStoreMachine.settings = settings(max_examples=40, stateful_step_count=40)
+TestResourceMachine.settings = settings(max_examples=40, stateful_step_count=40)
+TestEnvironmentClockMachine.settings = settings(
+    max_examples=30, stateful_step_count=30
+)

@@ -1,0 +1,283 @@
+"""Tests for the event loop: scheduling, ordering, events, stop semantics."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.core import AllOf, AnyOf, Event, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClockAndCallbacks:
+    def test_initial_time_is_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_call_in_advances_clock(self, env):
+        seen = []
+        env.call_in(1.5, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [1.5]
+
+    def test_call_at_absolute_time(self, env):
+        seen = []
+        env.call_at(2.0, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [2.0]
+
+    def test_call_at_past_raises(self, env):
+        env.call_in(1.0, lambda: None)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.call_in(-0.1, lambda: None)
+
+    def test_callback_args_passed(self, env):
+        seen = []
+        env.call_in(0.0, seen.append, 42)
+        env.run()
+        assert seen == [42]
+
+    def test_fifo_order_at_same_time(self, env):
+        seen = []
+        for i in range(5):
+            env.call_in(1.0, seen.append, i)
+        env.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_time_order(self, env):
+        seen = []
+        env.call_in(3.0, seen.append, "c")
+        env.call_in(1.0, seen.append, "a")
+        env.call_in(2.0, seen.append, "b")
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_cancel_prevents_execution(self, env):
+        seen = []
+        handle = env.call_in(1.0, seen.append, 1)
+        handle.cancel()
+        env.run()
+        assert seen == []
+
+    def test_nested_scheduling(self, env):
+        seen = []
+
+        def outer():
+            seen.append(("outer", env.now))
+            env.call_in(1.0, inner)
+
+        def inner():
+            seen.append(("inner", env.now))
+
+        env.call_in(1.0, outer)
+        env.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_events_executed_counter(self, env):
+        for _ in range(7):
+            env.call_in(0.1, lambda: None)
+        env.run()
+        assert env.events_executed == 7
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock_at_bound(self, env):
+        env.call_in(10.0, lambda: None)
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_executes_due_events(self, env):
+        seen = []
+        env.call_in(1.0, seen.append, 1)
+        env.call_in(9.0, seen.append, 2)
+        env.run(until=5.0)
+        assert seen == [1]
+
+    def test_run_until_past_raises(self, env):
+        env.call_in(1.0, lambda: None)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=0.5)
+
+    def test_resume_after_run_until(self, env):
+        seen = []
+        env.call_in(1.0, seen.append, 1)
+        env.call_in(9.0, seen.append, 2)
+        env.run(until=5.0)
+        env.run()
+        assert seen == [1, 2]
+
+    def test_stop_from_callback(self, env):
+        seen = []
+        env.call_in(1.0, lambda: env.stop("bail"))
+        env.call_in(2.0, seen.append, "never")
+        value = env.run()
+        assert value == "bail"
+        assert seen == []
+
+    def test_peek_empty_heap(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_next_time(self, env):
+        env.call_in(3.0, lambda: None)
+        assert env.peek() == 3.0
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(99)
+        env.run()
+        assert seen == [99]
+
+    def test_event_not_triggered_initially(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_double_succeed_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(RuntimeError("x"))
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_ok_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().ok
+
+    def test_ok_after_succeed(self, env):
+        event = env.event()
+        event.succeed()
+        assert event.ok
+
+    def test_ok_after_fail(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        assert not event.ok
+
+    def test_callback_after_processing_raises(self, env):
+        event = env.event()
+        event.succeed()
+        env.run()
+        with pytest.raises(SimulationError):
+            event.add_callback(lambda e: None)
+
+    def test_callbacks_fifo(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(1))
+        event.add_callback(lambda e: seen.append(2))
+        event.succeed()
+        env.run()
+        assert seen == [1, 2]
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, env):
+        timeout = env.timeout(2.5)
+        seen = []
+        timeout.add_callback(lambda e: seen.append(env.now))
+        env.run()
+        assert seen == [2.5]
+
+    def test_timeout_carries_value(self, env):
+        timeout = env.timeout(1.0, value="payload")
+        seen = []
+        timeout.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["payload"]
+
+    def test_negative_timeout_raises(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_timeout_runs_this_instant(self, env):
+        timeout = env.timeout(0.0)
+        seen = []
+        timeout.add_callback(lambda e: seen.append(env.now))
+        env.run()
+        assert seen == [0.0]
+
+
+class TestCombinators:
+    def test_any_of_first_wins(self, env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(2.0, value="slow")
+        combined = env.any_of([fast, slow])
+        seen = []
+        combined.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == [{fast: "fast"}]
+
+    def test_any_of_empty_succeeds_immediately(self, env):
+        combined = env.any_of([])
+        assert combined.triggered
+
+    def test_all_of_waits_for_all(self, env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(3.0, value="b")
+        combined = env.all_of([a, b])
+        seen = []
+        combined.add_callback(lambda e: seen.append((env.now, e.value)))
+        env.run()
+        assert seen == [(3.0, {a: "a", b: "b"})]
+
+    def test_all_of_empty_succeeds_immediately(self, env):
+        assert env.all_of([]).triggered
+
+    def test_any_of_propagates_failure(self, env):
+        event = env.event()
+        combined = env.any_of([event])
+        event.fail(RuntimeError("bad"))
+        env.run()
+        assert combined.triggered
+        assert not combined.ok
+
+    def test_all_of_with_already_processed_event(self, env):
+        a = env.timeout(0.5)
+        env.run()
+        combined = env.all_of([a])
+        assert isinstance(combined, AllOf)
+        assert combined.triggered
+
+    def test_any_of_with_already_processed_event(self, env):
+        a = env.timeout(0.5, value=1)
+        env.run()
+        combined = env.any_of([a])
+        assert isinstance(combined, AnyOf)
+        assert combined.triggered
+
+
+class TestDeterminism:
+    def test_same_schedule_same_order(self):
+        def run_once():
+            env = Environment()
+            seen = []
+            for i in range(50):
+                env.call_in((i * 7919) % 13 * 0.1, seen.append, i)
+            env.run()
+            return seen
+
+        assert run_once() == run_once()

@@ -1,0 +1,139 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, 0)
+
+    def test_grant_under_capacity_is_immediate(self, env):
+        resource = Resource(env, 2)
+        grant = resource.request()
+        assert grant.triggered
+        assert resource.in_use == 1
+
+    def test_waiters_queue_fifo(self, env):
+        resource = Resource(env, 1)
+        seen = []
+
+        def worker(env, name, hold):
+            grant = resource.request()
+            yield grant
+            seen.append((name, "start", env.now))
+            yield env.timeout(hold)
+            resource.release()
+            seen.append((name, "end", env.now))
+
+        env.process(worker(env, "a", 2.0))
+        env.process(worker(env, "b", 1.0))
+        env.run()
+        assert seen == [
+            ("a", "start", 0.0),
+            ("a", "end", 2.0),
+            ("b", "start", 2.0),
+            ("b", "end", 3.0),
+        ]
+
+    def test_parallel_capacity(self, env):
+        resource = Resource(env, 3)
+        finished = []
+
+        def worker(env, i):
+            yield resource.request()
+            yield env.timeout(1.0)
+            resource.release()
+            finished.append((i, env.now))
+
+        for i in range(6):
+            env.process(worker(env, i))
+        env.run()
+        # Two waves of three: first three finish at t=1, next at t=2.
+        assert [t for _, t in finished] == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_release_without_request_raises(self, env):
+        resource = Resource(env, 1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queue_length(self, env):
+        resource = Resource(env, 1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.in_use == 1
+        assert resource.queue_length == 2
+
+    def test_handoff_keeps_in_use_constant(self, env):
+        resource = Resource(env, 1)
+        resource.request()
+        waiting = resource.request()
+        resource.release()
+        env.run()
+        assert waiting.triggered
+        assert resource.in_use == 1
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        seen = []
+
+        def consumer(env):
+            item = yield store.get()
+            seen.append((env.now, item))
+
+        env.process(consumer(env))
+        env.call_in(3.0, store.put, "late")
+        env.run()
+        assert seen == [(3.0, "late")]
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        for i in range(4):
+            store.put(i)
+        values = [store.get().value for _ in range(4)]
+        assert values == [0, 1, 2, 3]
+
+    def test_fifo_getter_order(self, env):
+        store = Store(env)
+        seen = []
+
+        def consumer(env, name):
+            item = yield store.get()
+            seen.append((name, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+        env.call_in(1.0, store.put, "a")
+        env.call_in(2.0, store.put, "b")
+        env.run()
+        assert seen == [("first", "a"), ("second", "b")]
+
+    def test_len_counts_items(self, env):
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_waiting_getters_counter(self, env):
+        store = Store(env)
+        store.get()
+        store.get()
+        assert store.waiting_getters == 2

@@ -1,0 +1,50 @@
+"""Tests for named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_differ(self):
+        registry = RngRegistry(1)
+        a = registry.stream("a").random(100)
+        b = registry.stream("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_registries(self):
+        draws1 = RngRegistry(42).stream("workload").random(50)
+        draws2 = RngRegistry(42).stream("workload").random(50)
+        assert np.array_equal(draws1, draws2)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(50)
+        b = RngRegistry(2).stream("x").random(50)
+        assert not np.allclose(a, b)
+
+    def test_adding_streams_does_not_perturb_existing(self):
+        registry1 = RngRegistry(7)
+        registry1.stream("noise")  # extra stream created first
+        late = registry1.stream("target").random(20)
+
+        registry2 = RngRegistry(7)
+        early = registry2.stream("target").random(20)
+        assert np.array_equal(late, early)
+
+    def test_contains(self):
+        registry = RngRegistry(0)
+        assert "x" not in registry
+        registry.stream("x")
+        assert "x" in registry
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            RngRegistry("not-an-int")
+
+    def test_streams_are_generators(self):
+        assert isinstance(RngRegistry(0).stream("g"), np.random.Generator)
