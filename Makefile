@@ -2,12 +2,13 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow bench bench-figures lint-clean help
+.PHONY: install test test-fast test-slow ci bench bench-figures lint-clean help
 
 help:
 	@echo "install       editable install"
 	@echo "test          full test suite (incl. slow shape assertions)"
 	@echo "test-fast     fast tests only (~15 s)"
+	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
@@ -22,6 +23,9 @@ test-fast:
 
 test-slow:
 	$(PYTHON) -m pytest tests/ -m slow
+
+ci:
+	$(PYTHON) -m pytest tests/ -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

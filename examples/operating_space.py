@@ -8,11 +8,12 @@ picture: the advantage grows toward the loaded, many-client corner.
 
 Usage::
 
-    python examples/operating_space.py [--requests N]
+    python examples/operating_space.py [--requests N] [--jobs N]
 """
 
 import argparse
 
+from repro.exec import ExecutionPolicy, ProgressReporter
 from repro.experiments import ExperimentConfig
 from repro.experiments.grid import format_heatmap, run_grid
 
@@ -21,12 +22,19 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=4000)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes"
+    )
     args = parser.parse_args()
 
     base = ExperimentConfig.small(seed=args.seed, total_requests=args.requests)
     print(
         "Running a 3x3 grid x 2 schemes "
         f"({args.requests} requests per run, 18 runs)...\n"
+    )
+    execution = ExecutionPolicy(
+        workers=args.jobs,
+        progress=ProgressReporter(workers=args.jobs) if args.jobs > 1 else None,
     )
     grid = run_grid(
         base,
@@ -35,6 +43,7 @@ def main() -> None:
         column_parameter="n_clients",
         column_values=[16, 48, 96],
         schemes=["clirs", "netrs-ilp"],
+        execution=execution,
     )
     print(
         format_heatmap(

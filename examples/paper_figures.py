@@ -7,11 +7,13 @@ the sweep, run the grid, format the tables, extract machine-readable series.
 Usage::
 
     python examples/paper_figures.py fig4 [--requests N] [--reps R]
-    python examples/paper_figures.py fig6 --profile paper   # full scale!
+    python examples/paper_figures.py fig6 --profile paper --jobs 8 \
+        --run-dir runs/fig6          # full scale: parallel + resumable!
 """
 
 import argparse
 
+from repro.exec import ExecutionPolicy, ProgressReporter
 from repro.experiments import FIGURES, run_figure
 from repro.experiments.tables import (
     figure_series,
@@ -27,16 +29,34 @@ def main() -> None:
     parser.add_argument("--requests", type=int, default=6000)
     parser.add_argument("--reps", type=int, default=1)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument(
+        "--run-dir", default="", help="spool a resumable JSONL run ledger here"
+    )
+    parser.add_argument(
+        "--resume", action="store_true", help="skip jobs already in the ledger"
+    )
     args = parser.parse_args()
 
     spec = FIGURES[args.figure]
     print(f"Regenerating {spec.title} (profile={args.profile})...\n")
+    execution = ExecutionPolicy(
+        workers=args.jobs,
+        run_dir=args.run_dir or None,
+        resume=args.resume,
+        progress=ProgressReporter(workers=args.jobs)
+        if args.jobs > 1 or args.resume
+        else None,
+    )
     sweep = run_figure(
         args.figure,
         profile=args.profile,
         seed=args.seed,
         repetitions=args.reps,
         total_requests=args.requests,
+        execution=execution,
     )
     print(format_figure(sweep, title=spec.title))
     print()

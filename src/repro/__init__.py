@@ -13,7 +13,9 @@ discrete-event simulation, including:
 * the NetRS controller, operators and ILP-based RSNode placement
   (:mod:`repro.core`),
 * the experiment harness reproducing the paper's figures
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`),
+* the parallel experiment-execution engine with checkpoint/resume
+  (:mod:`repro.exec`).
 
 Quickstart::
 
@@ -27,6 +29,7 @@ Quickstart::
 from repro._version import __version__
 from repro.errors import (
     ConfigurationError,
+    ExecutionError,
     InfeasiblePlanError,
     PlacementError,
     ProtocolError,
@@ -37,6 +40,7 @@ from repro.errors import (
 
 __all__ = [
     "ConfigurationError",
+    "ExecutionError",
     "InfeasiblePlanError",
     "PlacementError",
     "ProtocolError",

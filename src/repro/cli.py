@@ -26,6 +26,41 @@ from repro.experiments.tables import format_figure, format_reductions
 from repro.network.fattree import fat_tree_dimensions
 
 
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already completed in the run ledger",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default="",
+        help="directory for the JSONL run ledger "
+        "(default: derived under .netrs-runs/ when --resume is given)",
+    )
+
+
+def _execution_from_args(args: argparse.Namespace) -> "ExecutionPolicy":
+    from repro.exec import ExecutionPolicy, ProgressReporter
+
+    progress = None
+    if args.jobs > 1 or args.resume:
+        progress = ProgressReporter(workers=max(1, args.jobs))
+    return ExecutionPolicy(
+        workers=max(1, args.jobs),
+        run_dir=args.run_dir or None,
+        resume=args.resume,
+        progress=progress,
+    )
+
+
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -80,6 +115,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         values=[config.seed],
         schemes=list(args.schemes),
         repetitions=args.repetitions,
+        execution=_execution_from_args(args),
     )
     print(format_figure(sweep, title="scheme comparison"))
     if "clirs" in args.schemes and "netrs-ilp" in args.schemes:
@@ -98,6 +134,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         seed=args.seed,
         repetitions=args.repetitions,
         total_requests=args.requests,
+        execution=_execution_from_args(args),
     )
     title = FIGURES[args.figure].title
     if args.markdown:
@@ -175,6 +212,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         values=values,
         schemes=list(args.schemes),
         repetitions=args.repetitions,
+        execution=_execution_from_args(args),
     )
     print(format_figure(sweep, title=f"sweep of {args.parameter}"))
     if args.bars:
@@ -267,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument("--repetitions", type=int, default=1)
     _add_common_run_options(compare_parser)
+    _add_exec_options(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     figure_parser = sub.add_parser("figure", help="reproduce a paper figure")
@@ -279,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="emit a Markdown report instead"
     )
     _add_common_run_options(figure_parser)
+    _add_exec_options(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     factors_parser = sub.add_parser(
@@ -310,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--repetitions", type=int, default=1)
     sweep_parser.add_argument("--bars", action="store_true")
     _add_common_run_options(sweep_parser)
+    _add_exec_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     verify_parser = sub.add_parser(

@@ -37,3 +37,7 @@ class InfeasiblePlanError(PlacementError):
 
 class ProtocolError(ReproError):
     """A packet violated the NetRS wire protocol."""
+
+
+class ExecutionError(ReproError):
+    """A job of a parallel experiment run failed on every attempt."""

@@ -1,0 +1,35 @@
+"""Parallel experiment execution: jobs, worker pool, ledger, resume.
+
+The sweep/grid/figure harness enumerates every ``(config, scheme, seed)``
+cell into deterministic :class:`Job` instances and hands the batch to
+:func:`execute_jobs`, which runs it serially (the default -- bit-identical
+to the historical harness) or on a spawn-safe worker pool, spooling each
+completed job to a JSONL :class:`RunLedger` so interrupted runs resume
+without repeating finished work.  See ``docs/EXECUTION.md``.
+"""
+
+from repro.exec.engine import (
+    ExecutionPolicy,
+    Runner,
+    default_run_dir,
+    execute_jobs,
+    run_job,
+)
+from repro.exec.job import Job, JobOutcome, config_digest, outcome_from_result
+from repro.exec.ledger import LEDGER_NAME, RunLedger
+from repro.exec.progress import ProgressReporter
+
+__all__ = [
+    "ExecutionPolicy",
+    "Job",
+    "JobOutcome",
+    "LEDGER_NAME",
+    "ProgressReporter",
+    "RunLedger",
+    "Runner",
+    "config_digest",
+    "default_run_dir",
+    "execute_jobs",
+    "outcome_from_result",
+    "run_job",
+]

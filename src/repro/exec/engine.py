@@ -1,0 +1,224 @@
+"""The execution engine: worker pool, retries, ledger, deterministic merge.
+
+``execute_jobs`` runs a batch of :class:`~repro.exec.job.Job` instances and
+returns their outcomes keyed and ordered by job key.  Guarantees:
+
+* **Determinism** -- each job is a fully seeded experiment, so its outcome
+  is a pure function of its config.  Results are merged in job-key order,
+  never completion order; parallel output is byte-identical to serial.
+* **Serial by default** -- with ``workers <= 1`` everything runs in-process
+  in submission order, exactly like the pre-engine harness.
+* **Spawn safety** -- the pool uses the ``spawn`` start method so workers
+  hold no forked simulator state; jobs and runners must be picklable.
+* **Retry + graceful degradation** -- a job that raises inside a worker is
+  retried there; if the worker still fails (or the pool machinery itself
+  dies, e.g. ``spawn`` is unavailable) the job falls back to one in-process
+  attempt before :class:`~repro.errors.ExecutionError` is raised.
+* **Resumability** -- with a ledger, every completed job is spooled to
+  JSONL immediately; ``resume=True`` skips jobs whose key and config digest
+  already have a recorded outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec.job import Job, JobOutcome, outcome_from_result
+from repro.exec.ledger import RunLedger
+from repro.exec.progress import ProgressReporter
+
+#: A runner turns one job into an outcome (raises on failure).  It executes
+#: inside worker processes, so it must be a picklable (module-level) callable.
+Runner = Callable[[Job], JobOutcome]
+
+
+def run_job(job: Job) -> JobOutcome:
+    """The default runner: one full simulated experiment."""
+    from repro.experiments.runner import run_experiment
+
+    return outcome_from_result(job, run_experiment(job.config))
+
+
+def default_run_dir(jobs: Sequence[Job], root: Union[str, Path] = ".netrs-runs") -> Path:
+    """A run directory derived from the job batch's content digests.
+
+    Re-issuing the same command enumerates the same jobs and therefore maps
+    to the same directory, which is what makes bare ``--resume`` work.
+    """
+    batch = hashlib.sha256(
+        "\n".join(f"{job.key}:{job.digest}" for job in jobs).encode("utf-8")
+    ).hexdigest()[:12]
+    return Path(root) / batch
+
+
+@dataclass
+class ExecutionPolicy:
+    """How a batch of jobs should be executed (CLI flags, resolved once)."""
+
+    workers: int = 1
+    run_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+    retries: int = 1
+    progress: Optional[ProgressReporter] = None
+
+    def make_ledger(self, jobs: Sequence[Job]) -> Optional[RunLedger]:
+        """The ledger this policy implies (None = no spooling)."""
+        if self.run_dir is not None:
+            return RunLedger(self.run_dir)
+        if self.resume:
+            return RunLedger(default_run_dir(jobs))
+        return None
+
+
+def execute_jobs(
+    jobs: Sequence[Job],
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+    runner: Runner = run_job,
+) -> Dict[str, JobOutcome]:
+    """Execute a job batch under ``policy``; outcomes ordered by job key."""
+    policy = policy or ExecutionPolicy()
+    jobs = list(jobs)
+    if len({job.key for job in jobs}) != len(jobs):
+        raise ConfigurationError("job keys must be unique within a batch")
+
+    outcomes: Dict[str, JobOutcome] = {}
+    pending = jobs
+    ledger = policy.make_ledger(jobs)
+    if ledger is not None:
+        if policy.resume:
+            cached = ledger.load()
+            pending = []
+            for job in jobs:
+                hit = cached.get(job.key)
+                if hit is not None and hit.digest == job.digest:
+                    outcomes[job.key] = hit
+                else:
+                    pending.append(job)
+        else:
+            ledger.reset()
+
+    progress = policy.progress
+    if progress is not None:
+        progress.start(total=len(jobs), skipped=len(jobs) - len(pending))
+
+    def complete(outcome: JobOutcome) -> None:
+        outcomes[outcome.key] = outcome
+        if ledger is not None:
+            ledger.record(outcome)
+        if progress is not None:
+            progress.job_done(outcome)
+
+    retries = max(0, policy.retries)
+    if policy.workers > 1 and len(pending) > 1:
+        failures = _execute_parallel(
+            pending,
+            workers=policy.workers,
+            runner=runner,
+            retries=retries,
+            complete=complete,
+        )
+        for job, worker_error in failures:
+            # Graceful degradation: one last in-process attempt.
+            try:
+                complete(_run_with_retries(runner, job, retries=0))
+            except Exception as exc:
+                raise ExecutionError(
+                    f"job {job.key} failed in a worker and again in-process: "
+                    f"{exc!r}\nworker error:\n{worker_error}"
+                ) from exc
+    else:
+        for job in pending:
+            try:
+                complete(_run_with_retries(runner, job, retries))
+            except Exception as exc:
+                raise ExecutionError(
+                    f"job {job.key} failed after {retries + 1} attempt(s): {exc!r}"
+                ) from exc
+
+    if progress is not None:
+        progress.finish()
+    return {job.key: outcomes[job.key] for job in sorted(jobs, key=lambda j: j.key)}
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _run_with_retries(runner: Runner, job: Job, retries: int) -> JobOutcome:
+    """Run one job, retrying on any exception; annotates attempt count."""
+    for attempt in range(1, retries + 2):
+        try:
+            outcome = runner(job)
+            outcome.attempts = attempt
+            return outcome
+        except Exception:
+            if attempt > retries:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _worker(payload: Tuple[Job, Runner, int]):
+    """Pool worker entry point: never raises, reports errors as data."""
+    job, runner, retries = payload
+    try:
+        return ("ok", job.key, _run_with_retries(runner, job, retries))
+    except Exception:
+        return ("error", job.key, traceback.format_exc())
+
+
+def _execute_parallel(
+    pending: Sequence[Job],
+    *,
+    workers: int,
+    runner: Runner,
+    retries: int,
+    complete: Callable[[JobOutcome], None],
+) -> List[Tuple[Job, str]]:
+    """Run jobs on a spawn pool; return jobs needing in-process fallback.
+
+    Outcomes stream to ``complete`` as they finish, so the ledger stays
+    valid even if the batch is interrupted.  ``ProcessPoolExecutor`` (not
+    ``multiprocessing.Pool``) is deliberate: a worker that dies before it
+    can even unpickle a task -- hard crash, unimportable ``__main__`` under
+    spawn -- breaks the pool and fails the remaining futures, where ``Pool``
+    would silently respawn crashing workers forever.  Every job whose
+    future errors is handed back for the in-process fallback.
+    """
+    by_key = {job.key: job for job in pending}
+    done: set = set()
+    failures: List[Tuple[Job, str]] = []
+    context = multiprocessing.get_context("spawn")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_worker, (job, runner, retries)): job
+                for job in pending
+            }
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    status, key, value = future.result()
+                except Exception as exc:  # worker died / pool broke
+                    failures.append((job, f"worker pool failure: {exc!r}"))
+                    continue
+                if status == "ok":
+                    complete(value)
+                    done.add(key)
+                else:
+                    failures.append((by_key[key], value))
+    except Exception as exc:
+        # The pool could not even be constructed (e.g. no spawn support).
+        handled = done | {job.key for job, _ in failures}
+        for job in pending:
+            if job.key not in handled:
+                failures.append((job, f"worker pool unavailable: {exc!r}"))
+    return failures

@@ -1,0 +1,95 @@
+"""Job model: one deterministic experiment run with a stable identity.
+
+A job is a fully resolved :class:`~repro.experiments.config.ExperimentConfig`
+(scheme and seed already substituted) plus two identifiers:
+
+* ``key`` -- orders jobs.  It embeds the zero-padded enumeration index, so
+  sorting outcomes by key reproduces the exact submission order; parallel
+  output merges byte-identical to a serial run.
+* ``digest`` -- a content hash over every config field.  The run ledger
+  stores it with each outcome, so ``--resume`` only reuses a cached result
+  when the job it belongs to is genuinely the same experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # imported lazily: experiments itself builds on repro.exec
+    from repro.experiments.config import ExperimentConfig
+
+
+def config_digest(config: "ExperimentConfig") -> str:
+    """Stable content hash over every field of ``config``."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=repr
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One deterministic ``(ExperimentConfig, scheme, seed)`` run."""
+
+    key: str
+    digest: str
+    config: "ExperimentConfig"
+
+    @classmethod
+    def from_config(cls, config: "ExperimentConfig", index: int) -> "Job":
+        """Build a job from a resolved config and its enumeration index."""
+        config.validate()
+        key = f"{index:05d}-{config.scheme}-s{config.seed}"
+        return cls(key=key, digest=config_digest(config), config=config)
+
+
+@dataclass
+class JobOutcome:
+    """The picklable measurement payload of one completed job.
+
+    This is the subset of :class:`~repro.experiments.runner.ExperimentResult`
+    that sweeps and grids consume, flattened so it crosses process
+    boundaries and serialises to one JSONL ledger line.
+    """
+
+    key: str
+    digest: str
+    summary: Dict[str, float] = field(default_factory=dict)
+    rsnode_count: int = 0
+    drs_group_count: int = 0
+    redundant_requests: int = 0
+    completed_requests: int = 0
+    sim_duration: float = 0.0
+    wall_time: float = 0.0
+    events_executed: int = 0
+    attempts: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        """One JSON-safe ledger record."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "JobOutcome":
+        """Inverse of :meth:`to_record`; ignores unknown fields."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+
+def outcome_from_result(job: Job, result) -> JobOutcome:
+    """Flatten an :class:`ExperimentResult` into a :class:`JobOutcome`."""
+    return JobOutcome(
+        key=job.key,
+        digest=job.digest,
+        summary=result.summary(),
+        rsnode_count=result.rsnode_count,
+        drs_group_count=result.drs_group_count,
+        redundant_requests=result.redundant_requests,
+        completed_requests=result.completed_requests,
+        sim_duration=result.sim_duration,
+        wall_time=result.wall_time,
+        events_executed=result.events_executed,
+    )

@@ -1,0 +1,99 @@
+"""Progress reporting for long experiment runs.
+
+Emits ``jobs done/total``, an ETA extrapolated from the observed per-job
+rate, and worker utilization (sum of per-job wall time over elapsed wall
+time times pool size) to stderr.  On a TTY the line redraws in place;
+otherwise each update is a full line so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+from repro.exec.job import JobOutcome
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """Incremental ``done/total`` + ETA + utilization reporter."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        label: str = "exec",
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.skipped = 0
+        self.busy_time = 0.0
+        self._started = 0.0
+
+    def start(self, total: int, skipped: int = 0) -> None:
+        """Begin a run of ``total`` jobs, ``skipped`` of them resumed."""
+        self.total = total
+        self.done = skipped
+        self.skipped = skipped
+        self.busy_time = 0.0
+        self._started = time.monotonic()
+        if skipped:
+            self._emit(f"resume: {skipped}/{total} jobs already in ledger")
+        self._render()
+
+    def job_done(self, outcome: JobOutcome) -> None:
+        """Record one freshly completed job and redraw."""
+        self.done += 1
+        self.busy_time += outcome.wall_time
+        self._render()
+
+    def finish(self) -> None:
+        """Final summary line."""
+        elapsed = time.monotonic() - self._started
+        if self._is_tty():
+            self.stream.write("\n")
+        self._emit(
+            f"done: {self.done}/{self.total} jobs in {elapsed:.1f}s "
+            f"({self.skipped} resumed)"
+        )
+
+    # ------------------------------------------------------------------
+    def _is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty and isatty())
+
+    def _emit(self, message: str) -> None:
+        self.stream.write(f"[{self.label}] {message}\n")
+        self.stream.flush()
+
+    def _render(self) -> None:
+        elapsed = time.monotonic() - self._started
+        fresh = self.done - self.skipped
+        remaining = self.total - self.done
+        parts = [f"{self.done}/{self.total} jobs"]
+        if self.total:
+            parts.append(f"{100.0 * self.done / self.total:.0f}%")
+        if fresh > 0 and remaining > 0:
+            parts.append(f"eta {_format_eta(elapsed / fresh * remaining)}")
+        if fresh > 0 and elapsed > 0:
+            utilization = min(1.0, self.busy_time / (elapsed * self.workers))
+            parts.append(f"workers={self.workers} util={utilization * 100:.0f}%")
+        line = f"[{self.label}] " + "  ".join(parts)
+        if self._is_tty():
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

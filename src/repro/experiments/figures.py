@@ -12,9 +12,10 @@ same proportions relative to host count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec import ExecutionPolicy
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweep import SweepResult, run_sweep
 
@@ -92,11 +93,13 @@ def run_figure(
     schemes: Sequence[str] = (),
     total_requests: int = 0,
     values: Sequence[Any] = (),
+    execution: Optional[ExecutionPolicy] = None,
 ) -> SweepResult:
     """Execute one paper figure end to end.
 
     ``total_requests`` and ``values`` override the profile defaults (handy
     for fast benchmark runs); zero/empty means "use the profile's values".
+    ``execution`` is forwarded to :func:`run_sweep` for parallelism/resume.
     """
     spec = FIGURES.get(figure_id)
     if spec is None:
@@ -117,4 +120,5 @@ def run_figure(
         values=chosen_values,
         schemes=list(schemes) if schemes else list(spec.schemes),
         repetitions=repetitions,
+        execution=execution,
     )

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec import ExecutionPolicy, Job, execute_jobs
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import METRICS, reduction
-from repro.experiments.runner import run_experiment
 
 #: (row value, column value) -> scheme -> summary (ms).
 GridCell = Tuple[Any, Any]
@@ -63,8 +63,14 @@ def run_grid(
     column_parameter: str,
     column_values: Sequence[Any],
     schemes: Sequence[str],
+    execution: Optional[ExecutionPolicy] = None,
 ) -> GridResult:
-    """Run the full cross product (one seed; grids grow fast)."""
+    """Run the full cross product (one seed; grids grow fast).
+
+    The (row x column x scheme) cells are independent jobs executed through
+    :mod:`repro.exec`, so ``execution`` buys the same parallelism, ledger
+    spooling and resume that sweeps get.
+    """
     for name in (row_parameter, column_parameter):
         if not hasattr(base, name):
             raise ConfigurationError(f"unknown config field {name!r}")
@@ -72,6 +78,24 @@ def run_grid(
         raise ConfigurationError("row and column parameters must differ")
     if not row_values or not column_values or not schemes:
         raise ConfigurationError("grid needs values on both axes and schemes")
+
+    jobs: List[Job] = []
+    cell_keys: Dict[GridCell, Dict[str, str]] = {}
+    for row in row_values:
+        for column in column_values:
+            keys: Dict[str, str] = {}
+            for scheme in schemes:
+                config = dataclasses.replace(
+                    base,
+                    **{row_parameter: row, column_parameter: column},
+                    scheme=scheme,
+                )
+                job = Job.from_config(config, len(jobs))
+                jobs.append(job)
+                keys[scheme] = job.key
+            cell_keys[(row, column)] = keys
+    outcomes = execute_jobs(jobs, policy=execution)
+
     result = GridResult(
         row_parameter=row_parameter,
         column_parameter=column_parameter,
@@ -79,18 +103,10 @@ def run_grid(
         column_values=list(column_values),
         schemes=list(schemes),
     )
-    for row in row_values:
-        for column in column_values:
-            cell: Dict[str, Dict[str, float]] = {}
-            for scheme in schemes:
-                config = dataclasses.replace(
-                    base,
-                    **{row_parameter: row, column_parameter: column},
-                    scheme=scheme,
-                )
-                config.validate()
-                cell[scheme] = run_experiment(config).summary()
-            result.cells[(row, column)] = cell
+    for cell, keys in cell_keys.items():
+        result.cells[cell] = {
+            scheme: outcomes[key].summary for scheme, key in keys.items()
+        }
     return result
 
 

@@ -2,7 +2,9 @@
 
 A figure in the paper is one parameter swept over a few values, four schemes
 per value, three seeds per (value, scheme), and four latency metrics per run.
-:func:`run_sweep` executes exactly that grid and returns a
+:func:`run_sweep` enumerates exactly that grid as deterministic jobs,
+executes them through :mod:`repro.exec` (serially by default, in parallel
+with an :class:`~repro.exec.ExecutionPolicy`), and returns a
 :class:`SweepResult` the table formatter and benchmarks consume.
 """
 
@@ -13,9 +15,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec import ExecutionPolicy, Job, execute_jobs
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import METRICS, mean_of_summaries
-from repro.experiments.runner import run_experiment
 
 #: (parameter value, scheme) -> averaged metric summary in milliseconds.
 Cell = Tuple[Any, str]
@@ -47,7 +49,11 @@ class SweepResult:
         """One plotted line of the figure: ``metric`` across all values."""
         if metric not in METRICS:
             raise ConfigurationError(f"unknown metric {metric!r}")
-        return [self.cells[(v, scheme)][metric] for v in self.values]
+        if scheme not in self.schemes:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; swept: {', '.join(self.schemes)}"
+            )
+        return [self.summary(value, scheme)[metric] for value in self.values]
 
     def confidence_interval(self, value: Any, scheme: str, metric: str):
         """Mean +/- t-based CI of a metric over the repetitions."""
@@ -93,7 +99,7 @@ class SweepResult:
         return json.dumps(payload, indent=2)
 
 
-def run_sweep(
+def sweep_jobs(
     base: ExperimentConfig,
     *,
     parameter: str,
@@ -101,12 +107,11 @@ def run_sweep(
     schemes: Sequence[str],
     repetitions: int = 1,
     overrides: Optional[Dict[str, Any]] = None,
-) -> SweepResult:
-    """Run the full (value x scheme x seed) grid for one figure.
+) -> Tuple[List[Job], Dict[Cell, List[str]]]:
+    """Enumerate the (value x scheme x seed) grid as deterministic jobs.
 
-    ``parameter`` names an :class:`ExperimentConfig` field; each repetition
-    r runs with ``seed = base.seed + r`` so schemes are compared on identical
-    deployments, matching the paper's repeated random deployments.
+    Returns the job batch (in canonical submission order) and the mapping
+    from each grid cell to the job keys of its repetitions, in seed order.
     """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
@@ -117,17 +122,11 @@ def run_sweep(
     if not hasattr(base, parameter):
         raise ConfigurationError(f"unknown config field {parameter!r}")
 
-    result = SweepResult(
-        parameter=parameter,
-        values=list(values),
-        schemes=list(schemes),
-        repetitions=repetitions,
-    )
+    jobs: List[Job] = []
+    cell_keys: Dict[Cell, List[str]] = {}
     for value in values:
         for scheme in schemes:
-            summaries = []
-            rsnodes = []
-            redundant = []
+            keys: List[str] = []
             for rep in range(repetitions):
                 changes: Dict[str, Any] = {
                     parameter: value,
@@ -137,15 +136,57 @@ def run_sweep(
                 if overrides:
                     changes.update(overrides)
                 config = dataclasses.replace(base, **changes)
-                config.validate()
-                run = run_experiment(config)
-                summaries.append(run.summary())
-                rsnodes.append(run.rsnode_count)
-                redundant.append(run.redundant_requests)
-            result.cells[(value, scheme)] = mean_of_summaries(summaries)
-            result.raw[(value, scheme)] = summaries
-            result.extras[(value, scheme)] = {
-                "rsnode_count": sum(rsnodes) / len(rsnodes),
-                "redundant_requests": sum(redundant) / len(redundant),
-            }
+                job = Job.from_config(config, len(jobs))
+                jobs.append(job)
+                keys.append(job.key)
+            cell_keys[(value, scheme)] = keys
+    return jobs, cell_keys
+
+
+def run_sweep(
+    base: ExperimentConfig,
+    *,
+    parameter: str,
+    values: Sequence[Any],
+    schemes: Sequence[str],
+    repetitions: int = 1,
+    overrides: Optional[Dict[str, Any]] = None,
+    execution: Optional[ExecutionPolicy] = None,
+) -> SweepResult:
+    """Run the full (value x scheme x seed) grid for one figure.
+
+    ``parameter`` names an :class:`ExperimentConfig` field; each repetition
+    r runs with ``seed = base.seed + r`` so schemes are compared on identical
+    deployments, matching the paper's repeated random deployments.
+
+    ``execution`` controls parallelism, the run ledger and resume (see
+    :class:`repro.exec.ExecutionPolicy`); the default runs serially,
+    in-process, with no spooling -- bit-identical to the historical harness.
+    """
+    jobs, cell_keys = sweep_jobs(
+        base,
+        parameter=parameter,
+        values=values,
+        schemes=schemes,
+        repetitions=repetitions,
+        overrides=overrides,
+    )
+    outcomes = execute_jobs(jobs, policy=execution)
+
+    result = SweepResult(
+        parameter=parameter,
+        values=list(values),
+        schemes=list(schemes),
+        repetitions=repetitions,
+    )
+    for cell, keys in cell_keys.items():
+        runs = [outcomes[key] for key in keys]
+        summaries = [run.summary for run in runs]
+        result.cells[cell] = mean_of_summaries(summaries)
+        result.raw[cell] = summaries
+        result.extras[cell] = {
+            "rsnode_count": sum(r.rsnode_count for r in runs) / len(runs),
+            "redundant_requests": sum(r.redundant_requests for r in runs)
+            / len(runs),
+        }
     return result

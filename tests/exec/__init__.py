@@ -1,0 +1,1 @@
+"""Tests for the parallel experiment-execution engine (repro.exec)."""

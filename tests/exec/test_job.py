@@ -1,0 +1,63 @@
+"""Tests for the job model: stable keys, content digests, outcomes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import Job, JobOutcome, config_digest
+from repro.experiments.config import ExperimentConfig
+
+
+class TestJobKeys:
+    def test_key_embeds_index_scheme_and_seed(self):
+        config = ExperimentConfig.tiny(scheme="netrs-tor", seed=7)
+        job = Job.from_config(config, 3)
+        assert job.key == "00003-netrs-tor-s7"
+
+    def test_key_order_is_submission_order(self):
+        configs = [
+            ExperimentConfig.tiny(scheme=scheme, seed=seed)
+            for seed in range(3)
+            for scheme in ("clirs", "netrs-tor")
+        ]
+        jobs = [Job.from_config(c, i) for i, c in enumerate(configs)]
+        assert sorted(job.key for job in jobs) == [job.key for job in jobs]
+
+    def test_invalid_config_rejected_at_job_creation(self):
+        config = ExperimentConfig.tiny()
+        config.scheme = "bogus"
+        with pytest.raises(ConfigurationError):
+            Job.from_config(config, 0)
+
+
+class TestDigests:
+    def test_digest_stable_for_equal_configs(self):
+        first = ExperimentConfig.tiny(seed=2)
+        second = ExperimentConfig.tiny(seed=2)
+        assert config_digest(first) == config_digest(second)
+
+    def test_digest_changes_with_any_field(self):
+        base = ExperimentConfig.tiny(seed=2)
+        assert config_digest(base) != config_digest(base.replace(seed=3))
+        assert config_digest(base) != config_digest(
+            base.replace(utilization=0.42)
+        )
+
+
+class TestJobOutcome:
+    def test_record_roundtrip(self):
+        outcome = JobOutcome(
+            key="00000-clirs-s0",
+            digest="abc",
+            summary={"mean": 1.0, "p99": 4.0},
+            rsnode_count=2,
+            completed_requests=100,
+            wall_time=0.5,
+            attempts=2,
+        )
+        assert JobOutcome.from_record(outcome.to_record()) == outcome
+
+    def test_from_record_ignores_unknown_fields(self):
+        record = {"key": "k", "digest": "d", "schema": 1, "mystery": True}
+        outcome = JobOutcome.from_record(record)
+        assert outcome.key == "k"
+        assert outcome.digest == "d"

@@ -1,0 +1,60 @@
+"""Tests for the JSONL run ledger."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import LEDGER_NAME, JobOutcome, RunLedger
+
+
+def _outcome(key: str, digest: str = "d", mean: float = 1.0) -> JobOutcome:
+    return JobOutcome(key=key, digest=digest, summary={"mean": mean})
+
+
+class TestRunLedger:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run")
+        first = _outcome("00000-clirs-s0")
+        second = _outcome("00001-clirs-s1", mean=2.0)
+        ledger.record(first)
+        ledger.record(second)
+        loaded = ledger.load()
+        assert loaded == {first.key: first, second.key: second}
+        assert len(ledger) == 2
+
+    def test_empty_when_no_spool_exists(self, tmp_path):
+        assert RunLedger(tmp_path / "nowhere").load() == {}
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(_outcome("00000-clirs-s0"))
+        with (tmp_path / LEDGER_NAME).open("a") as spool:
+            spool.write('{"schema": 1, "key": "00001-clirs-s1", "dig')
+        loaded = ledger.load()
+        assert set(loaded) == {"00000-clirs-s0"}
+
+    def test_unknown_schema_is_skipped(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        record = {"schema": 999}
+        record.update(_outcome("00000-clirs-s0").to_record())
+        (tmp_path / LEDGER_NAME).write_text(json.dumps(record) + "\n")
+        assert ledger.load() == {}
+
+    def test_later_duplicate_record_wins(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(_outcome("00000-clirs-s0", mean=1.0))
+        ledger.record(_outcome("00000-clirs-s0", mean=9.0))
+        assert ledger.load()["00000-clirs-s0"].summary["mean"] == 9.0
+
+    def test_reset_drops_previous_spool(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(_outcome("00000-clirs-s0"))
+        ledger.reset()
+        assert ledger.load() == {}
+
+    def test_run_dir_colliding_with_file_is_configuration_error(self, tmp_path):
+        collision = tmp_path / "not-a-dir"
+        collision.write_text("")
+        with pytest.raises(ConfigurationError):
+            RunLedger(collision).record(_outcome("00000-clirs-s0"))

@@ -25,6 +25,34 @@ class TestParser:
         assert args.scheme == "clirs"
         assert args.seed == 4
 
+    @pytest.mark.parametrize("command", ["sweep", "figure", "compare"])
+    def test_exec_flags_parse(self, command):
+        parser = build_parser()
+        positional = {
+            "sweep": ["sweep", "utilization", "0.5"],
+            "figure": ["figure", "fig6"],
+            "compare": ["compare"],
+        }[command]
+        args = parser.parse_args(
+            positional + ["--jobs", "4", "--resume", "--run-dir", "runs/x"]
+        )
+        assert args.jobs == 4
+        assert args.resume is True
+        assert args.run_dir == "runs/x"
+
+    @pytest.mark.parametrize("command", ["sweep", "figure", "compare"])
+    def test_exec_flags_default_to_serial(self, command):
+        parser = build_parser()
+        positional = {
+            "sweep": ["sweep", "utilization", "0.5"],
+            "figure": ["figure", "fig6"],
+            "compare": ["compare"],
+        }[command]
+        args = parser.parse_args(positional)
+        assert args.jobs == 1
+        assert args.resume is False
+        assert args.run_dir == ""
+
 
 class TestCommands:
     def test_topology_command(self, capsys):
@@ -193,6 +221,36 @@ class TestAnalysisCommands:
         assert "claims reproduced" in out
         assert out.count("[") >= 7
         assert code in (0, 1)
+
+    def test_sweep_command_parallel_matches_serial(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "utilization",
+            "0.4",
+            "0.9",
+            "--schemes",
+            "clirs",
+            "--requests",
+            "300",
+            "--clients",
+            "8",
+            "--servers",
+            "6",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(argv + ["--jobs", "2", "--run-dir", str(tmp_path / "run")])
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        # The ledger spooled both jobs; --resume replays without re-running.
+        assert (tmp_path / "run" / "ledger.jsonl").exists()
+        assert (
+            main(argv + ["--resume", "--run-dir", str(tmp_path / "run")]) == 0
+        )
+        assert capsys.readouterr().out == serial_out
 
     def test_sweep_command(self, capsys):
         code = main(

@@ -88,6 +88,10 @@ class TestRunSweep:
         with pytest.raises(ConfigurationError):
             small_sweep.series("clirs", "p50")
 
+    def test_series_unknown_scheme_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.series("netrs-ilp", "mean")
+
     def test_extras_tracked(self, small_sweep):
         extras = small_sweep.extras[(1.0, "netrs-tor")]
         assert extras["rsnode_count"] >= 1

@@ -12,6 +12,7 @@ PUBLIC_MODULES = [
     "repro.selection",
     "repro.core",
     "repro.core.placement",
+    "repro.exec",
     "repro.experiments",
     "repro.analysis",
     "repro.cli",
