@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci bench bench-figures lint-clean help
+.PHONY: install test test-fast test-slow ci bench bench-smoke bench-figures lint-clean help
 
 help:
 	@echo "install       editable install"
@@ -10,6 +10,7 @@ help:
 	@echo "test-fast     fast tests only (~15 s)"
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
+	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
 install:
@@ -29,6 +30,12 @@ ci:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m pytest benchmarks/test_bench_engine.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-min-rounds=3 --benchmark-warmup=off \
+		--benchmark-json=benchmarks/results/bench-smoke.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/test_bench_fig4_clients.py \

@@ -53,6 +53,9 @@ class ExperimentConfig:
     host_link_latency: float = 30e-6
     link_bandwidth: Optional[float] = None  # bits/s; None = pure-delay links
     track_link_stats: bool = False  # per-directed-link byte/packet counters
+    # --- simulator performance knobs (identical results either way) --------
+    route_cache_size: int = 65536  # ECMP path memoization bound; 0 = bypass
+    engine_compaction: bool = True  # compact cancelled timers in the heap
     background_traffic_rate: float = 0.0  # packets/s between idle hosts
     background_packet_size: int = 1024
     # --- key-value store --------------------------------------------------
@@ -181,6 +184,8 @@ class ExperimentConfig:
             raise ConfigurationError("fluctuation_range (d) must be >= 1")
         if self.demand_skew is not None and not 0 < self.demand_skew < 1:
             raise ConfigurationError("demand_skew must be in (0, 1)")
+        if self.route_cache_size < 0:
+            raise ConfigurationError("route_cache_size must be >= 0 (0 = off)")
         if self.background_traffic_rate < 0:
             raise ConfigurationError("background_traffic_rate must be >= 0")
         if self.background_traffic_rate > 0:

@@ -78,7 +78,7 @@ class Scenario:
 def build_scenario(config: ExperimentConfig) -> Scenario:
     """Construct every component of an experiment from its configuration."""
     config.validate()
-    env = Environment()
+    env = Environment(compaction=config.engine_compaction)
     rng = RngRegistry(config.seed)
     topology = build_fat_tree(config.fat_tree_k)
     network = Network(
@@ -88,6 +88,7 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
         host_link_latency=config.host_link_latency,
         link_bandwidth=config.link_bandwidth,
         track_links=config.track_link_stats,
+        route_cache_size=config.route_cache_size,
     )
 
     client_hosts, server_hosts = _assign_roles(config, topology, rng)

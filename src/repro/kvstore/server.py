@@ -110,7 +110,7 @@ class KVServer:
         duration = self._rng.exponential(self.service_model.current_mean)
         packet.server_queue_delay = self.env.now - arrived_at
         packet.server_service_time = duration
-        self.env.call_in(duration, self._complete, packet, duration)
+        self.env.post_in(duration, self._complete, (packet, duration))
 
     def _complete(self, packet: Packet, duration: float) -> None:
         self._in_service -= 1

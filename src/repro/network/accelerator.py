@@ -85,12 +85,12 @@ class Accelerator:
     # ------------------------------------------------------------------
     def submit(self, packet: Any, work: Work, done: Done = None) -> None:
         """Called by the co-located switch: ship the packet over the link."""
-        self.env.call_in(self.link_delay, self._enqueue, packet, work, done)
+        self.env.post_in(self.link_delay, self._enqueue, (packet, work, done))
 
     def _enqueue(self, packet: Any, work: Work, done: Done) -> None:
         if self._busy < self.cores:
             self._busy += 1
-            self.env.call_in(self.service_time, self._complete, packet, work, done)
+            self.env.post_in(self.service_time, self._complete, (packet, work, done))
         else:
             self._queue.append((packet, work, done))
             if len(self._queue) > self.max_queue_seen:
@@ -102,11 +102,8 @@ class Accelerator:
         result = work(packet)
         if done is not None and result is not None:
             # Ship the result back over the accelerator<->switch link.
-            self.env.call_in(self.link_delay, done, result)
+            self.env.post_in(self.link_delay, done, (result,))
         if self._queue:
-            next_packet, next_work, next_done = self._queue.popleft()
-            self.env.call_in(
-                self.service_time, self._complete, next_packet, next_work, next_done
-            )
+            self.env.post_in(self.service_time, self._complete, self._queue.popleft())
         else:
             self._busy -= 1

@@ -21,7 +21,7 @@ from typing import Any, Callable, Dict, Optional, Protocol, Tuple
 
 from repro.errors import TopologyError
 from repro.network.packet import Packet
-from repro.network.routing import Router
+from repro.network.routing import DEFAULT_PATH_CACHE_SIZE, Router
 from repro.network.topology import NodeKind, Topology
 from repro.sim.core import Environment
 
@@ -53,6 +53,7 @@ class Network:
         host_link_latency: float = 30e-6,
         link_bandwidth: Optional[float] = None,
         track_links: bool = False,
+        route_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
     ) -> None:
         if switch_link_latency < 0 or host_link_latency < 0:
             raise ValueError("link latencies must be non-negative")
@@ -60,11 +61,14 @@ class Network:
             raise ValueError("link_bandwidth must be positive (bits/second)")
         self.env = env
         self.topology = topology
-        self.router = Router(topology)
+        self.router = Router(topology, path_cache_size=route_cache_size)
         self.switch_link_latency = switch_link_latency
         self.host_link_latency = host_link_latency
         self.link_bandwidth = link_bandwidth
         self._devices: Dict[str, Device] = {}
+        # Per-directed-link propagation latency, filled lazily; saves two
+        # topology lookups per hop.
+        self._latency_cache: Dict[Tuple[str, str], float] = {}
         # Serialization state per directed link: time the link frees up.
         self._link_busy_until: Dict[Tuple[str, str], float] = {}
         # Aggregate fabric accounting.
@@ -115,19 +119,23 @@ class Network:
         link to finish earlier transmissions, then occupies it for its
         serialization time; propagation latency is added on top.
         """
-        device = self.device(to_name)
+        device = self._devices.get(to_name)
+        if device is None:
+            raise TopologyError(f"no device attached at {to_name}")
         size = packet.wire_size()
         self.transmissions += 1
         self.bytes_transferred += size
         self.netrs_overhead_bytes += packet.netrs_header_bytes()
+        link = (from_name, to_name)
         if self.track_links:
-            link = (from_name, to_name)
             self.link_bytes[link] = self.link_bytes.get(link, 0) + size
             self.link_packets[link] = self.link_packets.get(link, 0) + 1
-        delay = self.link_latency(from_name, to_name)
+        delay = self._latency_cache.get(link)
+        if delay is None:
+            delay = self.link_latency(from_name, to_name)
+            self._latency_cache[link] = delay
         if self.link_bandwidth is not None:
             now = self.env.now
-            link = (from_name, to_name)
             transmission_time = size * 8.0 / self.link_bandwidth
             free_at = max(now, self._link_busy_until.get(link, 0.0))
             backlog = free_at - now
@@ -136,13 +144,15 @@ class Network:
             if backlog > self.max_link_backlog:
                 self.max_link_backlog = backlog
             delay += backlog + transmission_time
-        self.env.call_in(delay, device.receive, packet, from_name)
+        self.env.post_in(delay, device.receive, (packet, from_name))
 
     def deliver_local(
         self, delay: float, fn: Callable[..., Any], *args: Any
     ) -> None:
         """Schedule intra-device work (e.g. switch<->accelerator hops)."""
-        self.env.call_in(delay, fn, *args)
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.env.post_in(delay, fn, args)
 
     def top_links(self, count: int = 10) -> list:
         """Hottest directed links by bytes carried (needs ``track_links``).

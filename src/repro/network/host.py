@@ -41,7 +41,23 @@ class Host:
         self.endpoint = endpoint
 
     def send(self, packet: Packet) -> None:
-        """Inject a packet into the network through the ToR uplink."""
+        """Inject a packet into the network through the ToR uplink.
+
+        The source-routed path from the ToR is attached here (one route-cache
+        lookup) so every switch on the way performs a plain index bump; the
+        path is exactly what the ToR would have computed on first contact, so
+        behaviour is bit-identical.  NetRS requests are skipped -- they have
+        no destination until an RSNode selects one -- and a ToR rule that
+        redirects the packet (DRS) changes ``dst``, which invalidates the
+        attached route automatically via the ``route_target`` check.
+        """
+        dst = packet.dst
+        if dst is not None and packet.route_target != dst:
+            packet.route_target = dst
+            packet.route = self.network.router.path(
+                self.tor_name, dst, packet.flow_key()
+            )
+            packet.route_pos = 0
         self.packets_sent += 1
         self.network.transmit(self.name, self.tor_name, packet)
 

@@ -37,11 +37,35 @@ def _pick(options: List[str], flow_key: int, depth: int) -> str:
     return options[(flow_key >> (5 * depth)) % len(options)]
 
 
-class Router:
-    """Path computation with precomputed topology indexes."""
+#: Default bound on the per-router path cache.  A paper-scale run touches a
+#: few tens of thousands of distinct ``(src, dst, flow_key)`` triples, so
+#: this keeps the steady state entirely resident while bounding memory.
+DEFAULT_PATH_CACHE_SIZE = 65536
 
-    def __init__(self, topology: Topology) -> None:
+
+class Router:
+    """Path computation with precomputed topology indexes and a path cache.
+
+    ``path()`` is a pure function of ``(src, dst, flow_key)`` for a fixed
+    topology, so results are memoized in a bounded LRU keyed by that triple;
+    ``path_cache_size=0`` bypasses the cache entirely (the determinism tests
+    compare both modes byte-for-byte).  The topology is treated as frozen:
+    the cache is never invalidated -- if the wiring ever changes, build a new
+    ``Router``.  NetRS operator failures do not invalidate anything because
+    they change which switch *selects*, not how packets are wired.
+
+    Cached lists are shared between callers and must not be mutated.
+    """
+
+    def __init__(
+        self, topology: Topology, *, path_cache_size: int = DEFAULT_PATH_CACHE_SIZE
+    ) -> None:
+        if path_cache_size < 0:
+            raise ValueError("path_cache_size must be >= 0")
         self.topology = topology
+        self.path_cache_size = path_cache_size
+        self._path_cache: Dict[Tuple[str, str, int], List[str]] = {}
+        self._hop_cache: Dict[Tuple[str, str, int], int] = {}
         self._tor_of_host: Dict[str, str] = {}
         self._aggs_by_pod: Dict[int, List[str]] = {}
         self._cores_of_agg: Dict[str, List[str]] = {}
@@ -59,6 +83,10 @@ class Router:
             self._cores_of_agg[agg.name] = cores
             for core in cores:
                 self._aggs_of_core_pod.setdefault((core, agg.pod), []).append(agg.name)
+        # Direct node map and host-name set: the hot path must not pay
+        # ``topology.node``'s error handling per hop.
+        self._nodes: Dict[str, Node] = topo.nodes
+        self._host_names = frozenset(self._tor_of_host)
 
     # ------------------------------------------------------------------
     # Public API
@@ -73,9 +101,26 @@ class Router:
     def path(self, src: str, dst: str, flow_key: int) -> List[str]:
         """Device names a packet visits *after* ``src``, ending at ``dst``.
 
-        Raises :class:`RoutingError` when no valley-free path exists (e.g.
-        aggregation to aggregation in a fat-tree, which NetRS never needs).
+        Results are memoized (see class docstring); treat the returned list
+        as immutable.  Raises :class:`RoutingError` when no valley-free path
+        exists (e.g. aggregation to aggregation in a fat-tree, which NetRS
+        never needs).
         """
+        if self.path_cache_size == 0:
+            return self._compute_path(src, dst, flow_key)
+        key = (src, dst, flow_key)
+        cache = self._path_cache
+        hit = cache.pop(key, None)
+        if hit is not None:
+            cache[key] = hit  # re-insert: keeps dict order = recency order
+            return hit
+        path = self._compute_path(src, dst, flow_key)
+        if len(cache) >= self.path_cache_size:
+            del cache[next(iter(cache))]  # least recently used
+        cache[key] = path
+        return path
+
+    def _compute_path(self, src: str, dst: str, flow_key: int) -> List[str]:
         if src == dst:
             return []
         src_node = self.topology.node(src)
@@ -100,7 +145,7 @@ class Router:
             dst_tor = self.tor_of(dst.name)
             if dst_tor == tor.name:
                 return [dst.name]
-            return self._from_tor(tor, self.topology.node(dst_tor), flow_key) + [dst.name]
+            return self._from_tor(tor, self._nodes[dst_tor], flow_key) + [dst.name]
         if dst.kind is NodeKind.TOR:
             if dst.pod == tor.pod:
                 agg = _pick(self._aggs_by_pod[tor.pod], flow_key, 0)
@@ -141,7 +186,7 @@ class Router:
         assert agg.pod is not None
         if dst.kind is NodeKind.HOST:
             dst_tor_name = self.tor_of(dst.name)
-            dst_tor = self.topology.node(dst_tor_name)
+            dst_tor = self._nodes[dst_tor_name]
             if dst_tor.pod == agg.pod:
                 return [dst_tor_name, dst.name]
             core = _pick(self._cores_of_agg[agg.name], flow_key, 1)
@@ -167,7 +212,7 @@ class Router:
     def _from_core(self, core: Node, dst: Node, flow_key: int) -> List[str]:
         if dst.kind is NodeKind.HOST:
             dst_tor_name = self.tor_of(dst.name)
-            dst_tor = self.topology.node(dst_tor_name)
+            dst_tor = self._nodes[dst_tor_name]
             assert dst_tor.pod is not None
             agg_down = _pick(self._descent_aggs(core.name, dst_tor.pod), flow_key, 2)
             return [agg_down, dst_tor_name, dst.name]
@@ -196,9 +241,21 @@ class Router:
 
         Counting matches the paper: every *switch* on the path forwards the
         packet once (intra-rack host-to-host is 1: the ToR forwards once; a
-        detour via a core switch makes it 5).
+        detour via a core switch makes it 5).  Memoized alongside ``path``
+        (the placement solvers call this in tight loops).
         """
-        path = self.path(src, dst, flow_key)
-        return sum(
-            1 for name in path if self.topology.node(name).kind is not NodeKind.HOST
+        if self.path_cache_size == 0:
+            path = self._compute_path(src, dst, flow_key)
+            return sum(1 for name in path if name not in self._host_names)
+        key = (src, dst, flow_key)
+        cached = self._hop_cache.get(key)
+        if cached is not None:
+            return cached
+        count = sum(
+            1 for name in self.path(src, dst, flow_key)
+            if name not in self._host_names
         )
+        if len(self._hop_cache) >= self.path_cache_size:
+            del self._hop_cache[next(iter(self._hop_cache))]
+        self._hop_cache[key] = count
+        return count

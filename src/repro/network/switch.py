@@ -265,20 +265,26 @@ class ProgrammableSwitch:
         self.network.transmit(self.name, packet.dst, packet)  # type: ignore[arg-type]
 
     def _follow_route(self, packet: Packet, target: str) -> None:
-        """Advance the packet one hop along the (cached) path to ``target``."""
+        """Advance the packet one hop along the attached path to ``target``.
+
+        The path is normally attached at injection (host NIC) or when a
+        NetRS rule changes the steering target; the steady-state hop is a
+        string compare plus an index bump, with the route-cache lookup only
+        on target changes.
+        """
         if packet.route_target != target:
             packet.route_target = target
             packet.route = self.network.router.path(
                 self.name, target, packet.flow_key()
             )
             packet.route_pos = 0
-        if packet.route_pos >= len(packet.route):
+        route = packet.route
+        pos = packet.route_pos
+        if pos >= len(route):
             raise RoutingError(
-                f"{self.name}: exhausted route toward {target} "
-                f"(route={packet.route})"
+                f"{self.name}: exhausted route toward {target} (route={route})"
             )
-        next_name = packet.route[packet.route_pos]
-        packet.route_pos += 1
+        packet.route_pos = pos + 1
         packet.hops += 1
         self.packets_forwarded += 1
-        self.network.transmit(self.name, next_name, packet)
+        self.network.transmit(self.name, route[pos], packet)

@@ -1,0 +1,171 @@
+"""Hot-path benchmark harness: engine, fabric, routing, fig4 slice.
+
+Measures the simulator's own throughput on the same workloads as
+``benchmarks/test_bench_engine.py`` and writes a machine-readable JSON
+report (``BENCH_<n>.json`` at the repo root by convention) so successive
+PRs can track regressions without the pytest-benchmark machinery:
+
+* ``event_scheduling``  -- schedule-and-drain of raw callbacks (events/s),
+* ``timer_cancellation`` -- timers cancelled before firing, the CliRS-R95
+  fast path (timers/s),
+* ``packet_forwarding`` -- fabric transmissions over a host-to-host pipe
+  (hops/s),
+* ``routing``           -- ECMP path computations on a paper-scale
+  16-ary fat-tree (paths/s),
+* ``fig4_slice``        -- wall time of one small Figure-4 cell end to end.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.sim.bench --out BENCH_2.json
+
+Each microbenchmark reports the best of ``--repeats`` runs (minimum wall
+time is the standard low-noise estimator for this kind of measurement).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.sim.core import Environment
+
+
+def _best_of(fn: Callable[[], int], repeats: int) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times; report best wall time and its rate."""
+    best = float("inf")
+    units = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        units = fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {
+        "units": units,
+        "wall_s": best,
+        "rate_per_s": units / best if best > 0 else float("inf"),
+    }
+
+
+def bench_event_scheduling(n: int = 10_000) -> int:
+    """Schedule-and-drain cost of ``n`` raw callbacks (mirrors
+    ``test_event_scheduling_throughput``)."""
+    env = Environment()
+    for i in range(n):
+        env.call_in(i * 1e-6, lambda: None)
+    env.run()
+    assert env.events_executed == n
+    return n
+
+
+def bench_timer_cancellation(n: int = 10_000) -> int:
+    """Timers that never fire (mirrors ``test_timer_cancellation_throughput``)."""
+    env = Environment()
+    handles = [env.call_in(1.0, lambda: None) for _ in range(n)]
+    for handle in handles:
+        handle.cancel()
+    env.run()
+    assert env.events_executed == 0
+    return n
+
+
+def bench_packet_forwarding(n: int = 5_000) -> int:
+    """Fabric transmissions over a host-to-host pipe (mirrors
+    ``test_packet_hop_throughput``); returns total hops delivered."""
+    from repro.network.fabric import Network
+    from repro.network.fattree import build_fat_tree
+    from repro.network.packet import make_request
+
+    env = Environment()
+    topo = build_fat_tree(8)
+    network = Network(env, topo)
+
+    class Sink:
+        count = 0
+
+        def receive(self, packet, from_name):
+            Sink.count += 1
+
+    network.attach("tor0.0", Sink())
+    for i in range(n):
+        packet = make_request(
+            client="host0.0.0",
+            request_id=i,
+            key=i,
+            rgid=1,
+            backup_replica="host0.0.1",
+            issued_at=0.0,
+            netrs=False,
+            dst="host0.0.1",
+        )
+        network.transmit("host0.0.0", "tor0.0", packet)
+    env.run()
+    return network.transmissions
+
+
+def bench_routing(n: int = 2_000) -> int:
+    """ECMP path computations across a paper-scale 16-ary fat-tree (mirrors
+    ``test_routing_throughput``)."""
+    from repro.network.fattree import build_fat_tree
+    from repro.network.routing import Router
+
+    topo = build_fat_tree(16)
+    router = Router(topo)
+    hosts = [h.name for h in topo.hosts]
+    for i in range(n):
+        router.path(hosts[i % 512], hosts[-1 - (i % 511)], i)
+    return n
+
+
+def bench_fig4_slice(requests: int = 2_000) -> int:
+    """One small Figure-4 cell (clirs-r95, 32 clients) end to end; returns
+    the number of completed requests."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig.small(
+        scheme="clirs-r95", seed=1, n_clients=32, total_requests=requests
+    )
+    result = run_experiment(config)
+    return result.completed_requests
+
+
+def run_benchmarks(repeats: int = 5, fig4_repeats: int = 1) -> Dict[str, object]:
+    """Run the full suite and return the report payload."""
+    report: Dict[str, object] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": {},
+    }
+    benches = report["benchmarks"]
+    benches["event_scheduling"] = _best_of(bench_event_scheduling, repeats)
+    benches["timer_cancellation"] = _best_of(bench_timer_cancellation, repeats)
+    benches["packet_forwarding"] = _best_of(bench_packet_forwarding, repeats)
+    benches["routing"] = _best_of(bench_routing, repeats)
+    benches["fig4_slice"] = _best_of(bench_fig4_slice, fig4_repeats)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write JSON report here")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--fig4-repeats", type=int, default=1, help="repeats of the fig4 slice"
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(repeats=args.repeats, fig4_repeats=args.fig4_repeats)
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as fh:
+            fh.write(payload)
+    sys.stdout.write(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,11 +13,37 @@ Two scheduling styles coexist:
 
 Ties in time are broken by insertion order, so the simulation is fully
 deterministic for a fixed seed.
+
+Schedule entries are flat tuples ``(time, seq, kind, ...)`` -- ``seq`` is
+unique, so tuple comparison never inspects the payload and entries of
+different lengths can share a container:
+
+* ``kind 0`` -- cancellable callback ``(time, seq, 0, fn, args, handle)``,
+* ``kind 1`` -- event processing ``(time, seq, 1, event)``,
+* ``kind 2`` -- fast non-cancellable callback ``(time, seq, 2, fn, args)``
+  (the packet-hop hot path; no handle allocation).
+
+The schedule is split across two structures (a "lazy queue"):
+
+* a FIFO **deque** that absorbs entries scheduled in non-decreasing time
+  order -- O(1) push and pop, which covers most of a simulation's traffic
+  (arrival processes, same-instant bursts, drain phases);
+* a binary **heap** for out-of-order arrivals.
+
+The next entry to execute is whichever of the two front entries compares
+smaller; since ``seq`` totally orders ties, execution order is *identical*
+to a single-heap engine, preserving determinism bit-for-bit.
+
+Cancelled ``kind 0`` entries stay in place (lazy deletion) and are counted;
+once they exceed both a floor and half the schedule, both structures are
+compacted in one O(n) pass.  Cancelled entries never run, never advance the
+clock, and do not count toward :attr:`Environment.events_executed`.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
 
@@ -152,10 +178,12 @@ class AnyOf(Event):
             return
         for event in self._events:
             if event.callbacks is None:  # already processed
-                if not self.triggered:
+                if event.ok:
                     self.succeed({event: event.value})
-            else:
-                event.add_callback(self._on_child)
+                else:
+                    self.fail(event.value)
+                break
+            event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -194,16 +222,29 @@ class AllOf(Event):
 
 
 class _Handle:
-    """Cancellation handle returned by :meth:`Environment.call_at`."""
+    """Cancellation handle returned by :meth:`Environment.call_at`.
 
-    __slots__ = ("cancelled",)
+    ``_env`` back-references the environment while the entry is still in the
+    heap so a cancellation can be counted toward lazy-deletion bookkeeping;
+    it is dropped when the callback runs (or the entry is compacted away) so
+    late ``cancel()`` calls are harmless no-ops.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("cancelled", "_env")
+
+    def __init__(self, env: Optional["Environment"] = None) -> None:
         self.cancelled = False
+        self._env = env
 
     def cancel(self) -> None:
         """Prevent the scheduled callback from running."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        env = self._env
+        if env is not None:
+            self._env = None
+            env._note_cancelled()
 
 
 class Environment:
@@ -211,17 +252,24 @@ class Environment:
 
     Args:
         initial_time: Starting value of the clock, in seconds.
+        compaction: Enable threshold-triggered compaction of cancelled
+            entries.  Disabling it (determinism audits) falls back to pure
+            lazy deletion; observable behaviour is identical either way.
 
-    The heap holds tuples ``(time, seq, kind, payload)`` where ``seq`` is a
-    monotonically increasing tiebreaker.  ``kind`` 0 = raw callback,
-    1 = event processing.
+    See the module docstring for the heap-entry layout.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    #: Cancelled entries below this floor never trigger a compaction pass.
+    COMPACTION_MIN_CANCELLED = 64
+
+    def __init__(self, initial_time: float = 0.0, *, compaction: bool = True) -> None:
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Any]] = []
+        self._heap: list[tuple] = []  # out-of-order entries
+        self._dq: deque = deque()  # entries pushed in non-decreasing time
         self._seq = 0
         self._event_count = 0
+        self._cancelled = 0  # cancelled kind-0 entries still scheduled
+        self._compaction = bool(compaction)
 
     @property
     def now(self) -> float:
@@ -230,8 +278,16 @@ class Environment:
 
     @property
     def events_executed(self) -> int:
-        """Total heap entries processed so far (engine throughput metric)."""
+        """Heap entries whose callbacks actually ran (throughput metric).
+
+        Cancelled callbacks are bookkeeping, not work: they are excluded.
+        """
         return self._event_count
+
+    @property
+    def pending_cancelled(self) -> int:
+        """Cancelled entries currently awaiting lazy deletion (diagnostics)."""
+        return self._cancelled
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -244,20 +300,89 @@ class Environment:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < now={self._now}"
             )
-        handle = _Handle()
+        handle = _Handle(self)
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, 0, (fn, args, handle)))
+        dq = self._dq
+        if not dq or when >= dq[-1][0]:
+            dq.append((when, self._seq, 0, fn, args, handle))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, 0, fn, args, handle))
         return handle
 
     def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> _Handle:
         """Run ``fn(*args)`` after ``delay`` seconds; returns a handle."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, fn, *args)
+        handle = _Handle(self)
+        self._seq += 1
+        when = self._now + delay
+        dq = self._dq
+        if not dq or when >= dq[-1][0]:
+            dq.append((when, self._seq, 0, fn, args, handle))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, 0, fn, args, handle))
+        return handle
+
+    def post_at(self, when: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """Hot-path variant of :meth:`call_at`: no handle, no validation.
+
+        The caller must guarantee ``when >= now``; there is no way to cancel.
+        Used by the fabric for per-packet-hop delivery, where the handle
+        allocation and bounds check of :meth:`call_at` are measurable.
+        """
+        self._seq += 1
+        dq = self._dq
+        if not dq or when >= dq[-1][0]:
+            dq.append((when, self._seq, 2, fn, args))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, 2, fn, args))
+
+    def post_in(self, delay: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """Hot-path variant of :meth:`call_in`; ``delay`` must be >= 0."""
+        self._seq += 1
+        when = self._now + delay
+        dq = self._dq
+        if not dq or when >= dq[-1][0]:
+            dq.append((when, self._seq, 2, fn, args))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, 2, fn, args))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, 1, event))
+        when = self._now + delay
+        dq = self._dq
+        if not dq or when >= dq[-1][0]:
+            dq.append((when, self._seq, 1, event))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, 1, event))
+
+    # ------------------------------------------------------------------
+    # Lazy deletion / compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._compaction
+            and self._cancelled >= self.COMPACTION_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap) + len(self._dq)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the schedule in one O(n) pass.
+
+        Mutates the containers in place: ``run`` holds local references to
+        them while dispatching, and a cancellation (hence a compaction) can
+        happen inside a callback mid-run.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not (e[2] == 0 and e[5].cancelled)]
+        heapq.heapify(heap)
+        dq = self._dq
+        live = [e for e in dq if not (e[2] == 0 and e[5].cancelled)]
+        dq.clear()
+        dq.extend(live)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Event factories
@@ -287,43 +412,151 @@ class Environment:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> None:
-        """Process the single next heap entry."""
-        when, _seq, kind, payload = heapq.heappop(self._heap)
-        self._now = when
-        self._event_count += 1
+    def _pop_next(self) -> tuple:
+        """Remove and return the globally next entry (deque vs heap front).
+
+        Raises ``IndexError`` when the schedule is empty.
+        """
+        dq = self._dq
+        heap = self._heap
+        if dq:
+            if heap and heap[0] < dq[0]:
+                return heapq.heappop(heap)
+            return dq.popleft()
+        return heapq.heappop(heap)
+
+    def _dispatch(self, entry: tuple) -> bool:
+        """Run one schedule entry; False if it was a cancelled callback."""
+        kind = entry[2]
         if kind == 0:
-            fn, args, handle = payload
-            if not handle.cancelled:
-                fn(*args)
+            handle = entry[5]
+            if handle.cancelled:
+                self._cancelled -= 1
+                return False
+            handle._env = None
+            self._now = entry[0]
+            self._event_count += 1
+            entry[3](*entry[4])
+        elif kind == 1:
+            self._now = entry[0]
+            self._event_count += 1
+            entry[3]._process()
         else:
-            payload._process()
+            self._now = entry[0]
+            self._event_count += 1
+            entry[3](*entry[4])
+        return True
+
+    def step(self) -> None:
+        """Execute the next *runnable* schedule entry.
+
+        Cancelled entries are discarded without running, without advancing
+        the clock, and without counting toward ``events_executed``; raises
+        ``IndexError`` when nothing runnable remains (as an empty heap did
+        before lazy deletion existed).
+        """
+        while not self._dispatch(self._pop_next()):
+            pass
 
     def peek(self) -> float:
-        """Time of the next scheduled entry, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next *runnable* entry, or ``inf`` if none.
+
+        Cancelled entries at the front of the schedule are dropped on the
+        way, so ``peek``/``run(until=...)`` never report (or advance to)
+        the timestamp of work that will not happen.
+        """
+        self._drop_cancelled_front()
+        dq = self._dq
+        heap = self._heap
+        if dq:
+            if heap and heap[0] < dq[0]:
+                return heap[0][0]
+            return dq[0][0]
+        if heap:
+            return heap[0][0]
+        return float("inf")
+
+    def _drop_cancelled_front(self) -> None:
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] == 0 and entry[5].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            else:
+                break
+        dq = self._dq
+        while dq:
+            entry = dq[0]
+            if entry[2] == 0 and entry[5].cancelled:
+                dq.popleft()
+                self._cancelled -= 1
+            else:
+                break
 
     def run(self, until: Optional[float] = None) -> Any:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the schedule drains or the clock passes ``until``.
 
         Returns the value carried by :class:`StopSimulation` if something
         stopped the run early, else ``None``.
+
+        The dispatch loop is inlined (rather than delegating to
+        :meth:`step`) because the per-event call overhead is measurable at
+        paper scale; :meth:`step` remains for tests and debugging.
         """
+        heap = self._heap
+        dq = self._dq
+        pop = heapq.heappop
+        popleft = dq.popleft
+        executed = 0
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
         try:
-            if until is None:
-                while self._heap:
-                    self.step()
-            else:
-                until = float(until)
-                if until < self._now:
-                    raise SimulationError(
-                        f"run(until={until}) is in the past (now={self._now})"
-                    )
-                while self._heap and self._heap[0][0] <= until:
-                    self.step()
-                self._now = max(self._now, until)
+            while True:
+                # Select the globally next entry across both structures.
+                if dq:
+                    if heap and heap[0] < dq[0]:
+                        if until is not None and heap[0][0] > until:
+                            break
+                        entry = pop(heap)
+                    else:
+                        if until is not None and dq[0][0] > until:
+                            break
+                        entry = popleft()
+                elif heap:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    entry = pop(heap)
+                else:
+                    break
+                kind = entry[2]
+                if kind == 2:
+                    self._now = entry[0]
+                    executed += 1
+                    entry[3](*entry[4])
+                elif kind == 0:
+                    handle = entry[5]
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._env = None
+                    self._now = entry[0]
+                    executed += 1
+                    entry[3](*entry[4])
+                else:
+                    self._now = entry[0]
+                    executed += 1
+                    entry[3]._process()
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self._event_count += executed
+        if until is not None and self._now < until:
+            self._now = until
         return None
 
     def stop(self, value: Any = None) -> None:

@@ -160,3 +160,56 @@ class TestHopCount:
 
     def test_tor_of_cached(self, router):
         assert router.tor_of("host2.1.0") == "tor2.1"
+
+
+class TestPathCache:
+    def test_cached_vs_uncached_identical(self, topo):
+        """The memoized router must return bit-identical ECMP paths."""
+        cached = Router(topo)
+        uncached = Router(topo, path_cache_size=0)
+        hosts = [h.name for h in topo.hosts]
+        for src in hosts[:6]:
+            for dst in hosts[:6]:
+                for flow_key in (0, 7, 12345):
+                    assert cached.path(src, dst, flow_key) == uncached.path(
+                        src, dst, flow_key
+                    )
+                    assert cached.hop_count(src, dst, flow_key) == uncached.hop_count(
+                        src, dst, flow_key
+                    )
+
+    def test_repeat_lookup_hits_cache(self, topo):
+        router = Router(topo)
+        first = router.path("host0.0.0", "host3.1.1", flow_key=9)
+        assert router.path("host0.0.0", "host3.1.1", flow_key=9) is first
+
+    def test_lru_bound_respected(self, topo):
+        router = Router(topo, path_cache_size=4)
+        hosts = [h.name for h in topo.hosts]
+        for i, dst in enumerate(hosts[:10]):
+            router.path("host0.0.0", dst, flow_key=i)
+        assert len(router._path_cache) <= 4
+
+    def test_lru_evicts_oldest_not_recent(self, topo):
+        router = Router(topo, path_cache_size=2)
+        a = router.path("host0.0.0", "host1.0.0", flow_key=1)
+        router.path("host0.0.0", "host2.0.0", flow_key=1)
+        # Touch the first entry so it is most recent, then insert a third.
+        assert router.path("host0.0.0", "host1.0.0", flow_key=1) is a
+        router.path("host0.0.0", "host3.0.0", flow_key=1)
+        # The first entry survived the eviction (identity => cache hit).
+        assert router.path("host0.0.0", "host1.0.0", flow_key=1) is a
+
+    def test_negative_cache_size_rejected(self, topo):
+        with pytest.raises(ValueError):
+            Router(topo, path_cache_size=-1)
+
+    def test_flow_key_part_of_cache_key(self, topo):
+        """Different flows may take different ECMP paths; the cache must
+        never conflate them."""
+        router = Router(topo)
+        uncached = Router(topo, path_cache_size=0)
+        for flow_key in range(64):
+            assert router.path("host0.0.0", "host3.1.1", flow_key) == uncached.path(
+                "host0.0.0", "host3.1.1", flow_key
+            )

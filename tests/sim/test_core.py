@@ -270,6 +270,197 @@ class TestCombinators:
         assert combined.triggered
 
 
+class TestAnyOfPreProcessedChildren:
+    def test_pre_processed_failed_child_fails_anyof(self, env):
+        """Regression: a child processed as *failed* before construction
+        must fail the AnyOf, not succeed it with the exception as value."""
+        child = env.event()
+        child.fail(RuntimeError("boom"))
+        env.run()  # child is now processed
+        combined = env.any_of([child])
+        assert combined.triggered
+        assert not combined.ok
+        assert isinstance(combined.value, RuntimeError)
+
+    def test_pre_processed_failed_child_beats_pending_children(self, env):
+        failed = env.event()
+        failed.fail(ValueError("first"))
+        env.run()
+        pending = env.event()
+        combined = env.any_of([failed, pending])
+        assert combined.triggered
+        assert not combined.ok
+        assert isinstance(combined.value, ValueError)
+
+    def test_no_callbacks_registered_after_trigger(self, env):
+        """Regression: once a pre-processed child triggers the AnyOf, the
+        remaining children must not get _on_child registered."""
+        done = env.timeout(0.5, value=1)
+        env.run()
+        late_a = env.event()
+        late_b = env.event()
+        combined = env.any_of([done, late_a, late_b])
+        assert combined.triggered and combined.ok
+        assert late_a.callbacks == []
+        assert late_b.callbacks == []
+
+    def test_pre_processed_success_still_succeeds(self, env):
+        done = env.timeout(0.5, value="v")
+        env.run()
+        combined = env.any_of([done])
+        assert combined.triggered and combined.ok
+        assert combined.value == {done: "v"}
+
+
+class TestLazyDeletion:
+    def test_cancelled_entries_do_not_count_as_executed(self, env):
+        handles = [env.call_in(0.1, lambda: None) for _ in range(5)]
+        handles[1].cancel()
+        handles[3].cancel()
+        env.run()
+        assert env.events_executed == 3
+
+    def test_cancelled_entries_do_not_advance_clock(self, env):
+        env.call_in(1.0, lambda: None).cancel()
+        env.run()
+        assert env.now == 0.0
+
+    def test_peek_skips_cancelled_prefix(self, env):
+        env.call_in(1.0, lambda: None).cancel()
+        env.call_in(2.0, lambda: None)
+        assert env.peek() == 2.0
+
+    def test_peek_all_cancelled_is_inf(self, env):
+        for _ in range(3):
+            env.call_in(1.0, lambda: None).cancel()
+        assert env.peek() == float("inf")
+
+    def test_run_until_does_not_stop_at_cancelled_timestamp(self, env):
+        """run(until) must not advance ``now`` to a cancelled entry's time."""
+        seen = []
+        env.call_in(1.0, seen.append, 1)
+        env.call_in(3.0, seen.append, "never").cancel()
+        env.run(until=2.0)
+        assert seen == [1]
+        assert env.now == 2.0
+        env.run()
+        assert env.now == 2.0  # the cancelled 3.0 entry never ran
+
+    def test_step_skips_cancelled(self, env):
+        """step() must run exactly one *live* entry, skipping cancelled ones."""
+        seen = []
+        env.call_in(1.0, seen.append, "cancelled").cancel()
+        env.call_in(2.0, seen.append, "live")
+        env.step()
+        assert seen == ["live"]
+        assert env.now == 2.0
+        assert env.events_executed == 1
+
+    def test_cancel_after_execution_is_noop(self, env):
+        seen = []
+        handle = env.call_in(0.5, seen.append, 1)
+        env.run()
+        handle.cancel()
+        handle.cancel()
+        assert seen == [1]
+        assert env.pending_cancelled == 0
+
+    def test_compaction_purges_cancelled_timers(self):
+        env = Environment()
+        handles = [env.call_in(1.0, lambda: None) for _ in range(500)]
+        for handle in handles:
+            handle.cancel()
+        # Threshold compaction ran: far fewer than 500 entries remain.
+        assert len(env._heap) + len(env._dq) < 500
+        env.run()
+        assert env.events_executed == 0
+
+    def test_compaction_off_keeps_lazy_entries(self):
+        env = Environment(compaction=False)
+        handles = [env.call_in(1.0, lambda: None) for _ in range(500)]
+        for handle in handles:
+            handle.cancel()
+        assert len(env._heap) + len(env._dq) == 500
+        env.run()  # drains lazily, still runs nothing
+        assert env.events_executed == 0
+        assert env.now == 0.0
+
+    def test_compaction_on_off_same_behaviour(self):
+        def run_once(compaction):
+            env = Environment(compaction=compaction)
+            seen = []
+            handles = []
+            for i in range(300):
+                handles.append(env.call_in(0.1 + i * 1e-3, seen.append, i))
+            for handle in handles[::2]:
+                handle.cancel()
+            env.run()
+            return seen, env.events_executed, env.now
+
+        assert run_once(True) == run_once(False)
+
+
+class TestFastPostPath:
+    def test_post_in_runs_callback(self, env):
+        seen = []
+        env.post_in(1.5, seen.append, (42,))
+        env.run()
+        assert seen == [42]
+        assert env.now == 1.5
+
+    def test_post_at_absolute(self, env):
+        seen = []
+        env.post_at(2.0, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [2.0]
+
+    def test_post_and_call_fifo_at_same_time(self, env):
+        seen = []
+        env.call_in(1.0, seen.append, "a")
+        env.post_in(1.0, seen.append, ("b",))
+        env.call_in(1.0, seen.append, "c")
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_posts_count_as_executed(self, env):
+        for _ in range(4):
+            env.post_in(0.1, lambda: None)
+        env.run()
+        assert env.events_executed == 4
+
+
+class TestDequeHeapOrdering:
+    def test_out_of_order_scheduling_is_globally_ordered(self, env):
+        """Interleaved in-order (deque) and out-of-order (heap) entries must
+        execute in exact (time, insertion) order."""
+        seen = []
+        times = [5.0, 1.0, 3.0, 3.0, 0.5, 5.0, 2.0, 4.0, 0.5, 3.0]
+        for i, t in enumerate(times):
+            env.call_in(t, seen.append, (t, i))
+        env.run()
+        assert seen == sorted(seen)
+
+    def test_mixed_nested_scheduling_order(self, env):
+        seen = []
+
+        def at_two():
+            seen.append(("outer", env.now))
+            env.call_in(0.5, lambda: seen.append(("nested", env.now)))
+            env.post_in(0.25, lambda: seen.append(("posted", env.now)))
+
+        env.call_in(2.0, at_two)
+        env.call_in(1.0, lambda: seen.append(("early", env.now)))
+        env.call_in(2.3, lambda: seen.append(("mid", env.now)))
+        env.run()
+        assert seen == [
+            ("early", 1.0),
+            ("outer", 2.0),
+            ("posted", 2.25),
+            ("mid", 2.3),
+            ("nested", 2.5),
+        ]
+
+
 class TestDeterminism:
     def test_same_schedule_same_order(self):
         def run_once():
