@@ -6,7 +6,9 @@ Subcommands:
 * ``figure``   -- reproduce one of the paper's figures (fig4..fig7),
 * ``compare``  -- all four schemes on one configuration with reductions,
 * ``topology`` -- fat-tree facts for a given arity,
-* ``plan``     -- solve and display an RSNode placement for a config.
+* ``plan``     -- solve and display an RSNode placement for a config,
+* ``lint``     -- determinism sanitizer over the source tree (see
+  ``docs/LINTING.md``).
 """
 
 from __future__ import annotations
@@ -282,6 +284,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -372,13 +380,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_options(plan_parser)
     plan_parser.set_defaults(func=_cmd_plan)
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="determinism sanitizer (AST rules DET*/SIM*/API*)",
+        add_help=False,
+    )
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint_parser.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # ``lint`` owns its whole argument tail (argparse.REMAINDER refuses to
+    # swallow a leading option like ``--stats``, so dispatch before parsing).
+    if arguments and arguments[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     return args.func(args)
 
 

@@ -1,0 +1,106 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline lets the linter gate *new* findings in CI while known historical
+ones are burned down incrementally.  Entries are line-independent
+fingerprints ``(rule, path, message)`` with an occurrence count, so pure
+line shifts (edits elsewhere in the file) do not invalidate the baseline,
+while any new instance of a grandfathered pattern still fails the build.
+
+Workflow::
+
+    python -m repro.lint src/repro --write-baseline   # snapshot current tree
+    git add lint-baseline.json                        # commit the debt
+    # ... later: fix an entry, re-run --write-baseline to shrink the file.
+
+The checked-in ``lint-baseline.json`` of this repository is empty: the tree
+lints clean and must stay that way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+#: Version stamp of the baseline file layout.
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename, auto-detected by the CLI.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    entries: Dict[Fingerprint, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[Fingerprint, int] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read baseline {path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigurationError(
+                f"baseline {path!r} is not a v{BASELINE_VERSION} baseline file"
+            )
+        entries: Dict[Fingerprint, int] = {}
+        for entry in payload["entries"]:
+            fingerprint = (entry["rule"], entry["path"], entry["message"])
+            entries[fingerprint] = int(entry.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": file_path, "message": message,
+                 "count": count}
+                for (rule, file_path, message), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def apply(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, baselined-count).
+
+        Each baseline entry absorbs up to ``count`` matching findings;
+        anything beyond that is a *new* instance and is reported.
+        """
+        remaining = dict(self.entries)
+        kept: List[Finding] = []
+        absorbed = 0
+        for finding in sorted(findings):
+            budget = remaining.get(finding.fingerprint, 0)
+            if budget > 0:
+                remaining[finding.fingerprint] = budget - 1
+                absorbed += 1
+            else:
+                kept.append(finding)
+        return kept, absorbed
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

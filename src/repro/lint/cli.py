@@ -1,0 +1,169 @@
+"""CLI for the determinism sanitizer: ``netrs lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean (or all findings baselined/suppressed), 1 findings or
+parse errors, 2 usage errors.  ``--format json`` emits the machine-readable
+report consumed by CI (schema: :data:`repro.lint.findings.JSON_REPORT_VERSION`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.rules import RULES, explain
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netrs lint",
+        description="determinism sanitizer: AST lint for simulation invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default="",
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report everything",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and analyzed-file totals",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default="",
+        help="print one rule's documentation and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Baseline.load(args.baseline)
+    if os.path.exists(DEFAULT_BASELINE_NAME):
+        return Baseline.load(DEFAULT_BASELINE_NAME)
+    return None
+
+
+def _render_text(report: LintReport, *, stats: bool) -> str:
+    lines: List[str] = []
+    for finding in report.parse_errors:
+        lines.append(finding.format_text())
+    for finding in report.findings:
+        lines.append(finding.format_text())
+    if stats:
+        lines.append("")
+        lines.append("per-rule finding counts:")
+        for rule_id, count in report.per_rule_counts().items():
+            lines.append(f"  {rule_id:8s} {count:4d}  {RULES[rule_id].title}")
+        lines.append(f"files analyzed:    {report.files_analyzed}")
+        lines.append(f"findings:          {len(report.findings)}")
+        lines.append(f"noqa-suppressed:   {report.suppressed}")
+        lines.append(f"baselined:         {report.baselined}")
+    elif report.clean:
+        lines.append(
+            f"ok: {report.files_analyzed} files analyzed, no findings "
+            f"({report.suppressed} suppressed, {report.baselined} baselined)"
+        )
+    else:
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_analyzed} files"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id:8s} {RULES[rule_id].title}")
+        return 0
+    if args.explain:
+        try:
+            print(explain(args.explain.upper()))
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src/repro"] if os.path.isdir("src/repro") else ["."]
+
+    try:
+        baseline = _resolve_baseline(args)
+        report = lint_paths(paths, baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        # Re-lint without a baseline so the snapshot is complete.
+        full = lint_paths(paths, baseline=None)
+        Baseline.from_findings(full.findings).save(target)
+        print(
+            f"wrote {len(full.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        rendered = json.dumps(report.to_json(), indent=2) + "\n"
+    else:
+        rendered = _render_text(report, stats=args.stats)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

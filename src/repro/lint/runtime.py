@@ -1,0 +1,96 @@
+"""Runtime determinism guard: make stray global randomness *raise*.
+
+Static analysis (DET001) catches direct syntactic uses of ``random`` /
+``np.random``; it cannot see dynamic dispatch, third-party helpers, or code
+paths assembled at runtime.  :func:`deterministic_guard` closes that gap: it
+patches the global entry points of the stdlib ``random`` module and numpy's
+module-level convenience API so that any call inside the guarded region
+raises :class:`NondeterminismError` naming the offender.
+
+Intended uses:
+
+* the opt-in pytest fixture ``deterministic_sim`` (see ``tests/conftest.py``)
+  wraps determinism-sensitive tests, so a regression that sneaks past the
+  linter fails loudly instead of silently skewing results;
+* ad-hoc auditing: ``with deterministic_guard(): run_experiment(config)``.
+
+The guard is process-global while active (it patches module attributes), so
+it is not meant for concurrent use from multiple threads.  Nesting works:
+each ``with`` saves whatever it found and restores it on exit.  Methods on
+explicit ``np.random.Generator`` instances -- the only sanctioned source of
+randomness, via :mod:`repro.sim.rng` -- are untouched.
+"""
+
+from __future__ import annotations
+
+import random as _random_module  # repro: noqa(DET001) - guard patches the module it bans
+from contextlib import contextmanager
+from typing import Iterator, Sequence, Tuple
+
+import numpy as _np
+
+__all__ = ["NondeterminismError", "deterministic_guard"]
+
+
+class NondeterminismError(RuntimeError):
+    """A globally seeded / fresh-entropy RNG entry point was called."""
+
+
+#: stdlib ``random`` functions that consume or reseed the hidden global state.
+_STDLIB_NAMES: Tuple[str, ...] = (
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "betavariate", "expovariate", "gauss",
+    "normalvariate", "lognormvariate", "paretovariate", "weibullvariate",
+    "triangular", "vonmisesvariate", "gammavariate", "getrandbits", "seed",
+)
+
+#: ``numpy.random`` module-level functions (legacy global state or fresh
+#: entropy); Generator construction via explicit seed material stays legal.
+_NUMPY_NAMES: Tuple[str, ...] = (
+    "default_rng", "seed", "random", "rand", "randn", "randint", "choice",
+    "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "exponential", "poisson", "binomial", "beta", "gamma", "bytes",
+    "random_sample", "sample", "zipf",
+)
+
+
+def _raiser(qualified: str):
+    def blocked(*_args: object, **_kwargs: object) -> None:
+        raise NondeterminismError(
+            f"`{qualified}` was called inside deterministic_guard(); all "
+            "randomness in simulated code must come from a named stream of "
+            "repro.sim.rng.RngRegistry (derived from the experiment seed)"
+        )
+
+    blocked.__name__ = qualified.rsplit(".", 1)[-1]
+    blocked.__qualname__ = f"deterministic_guard.blocked[{qualified}]"
+    return blocked
+
+
+@contextmanager
+def deterministic_guard(
+    allow: Sequence[str] = (),
+) -> Iterator[None]:
+    """Context manager that turns global-RNG calls into hard errors.
+
+    Args:
+        allow: qualified names (``"random.shuffle"``, ``"np.random.seed"``)
+            to leave untouched, for narrowly scoped exceptions.
+    """
+    allowed = set(allow)
+    saved = []
+    try:
+        for module, prefix, names in (
+            (_random_module, "random", _STDLIB_NAMES),
+            (_np.random, "np.random", _NUMPY_NAMES),
+        ):
+            for name in names:
+                qualified = f"{prefix}.{name}"
+                if qualified in allowed or not hasattr(module, name):
+                    continue
+                saved.append((module, name, getattr(module, name)))
+                setattr(module, name, _raiser(qualified))
+        yield
+    finally:
+        for module, name, original in reversed(saved):
+            setattr(module, name, original)
