@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.selection.base import ReplicaSelector
+from repro.sim.rng import stream_from_seed
 from repro.selection.c3 import C3Selector
 from repro.selection.ewma_snitch import EwmaSnitchSelector
 from repro.selection.simple import (
@@ -46,8 +47,15 @@ def create_selector(
     concurrency_weight: int,
     prior_service_rate: float,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> ReplicaSelector:
-    """Instantiate the algorithm ``name`` for one RSNode."""
+    """Instantiate the algorithm ``name`` for one RSNode.
+
+    When the caller passes no ``rng``, the fallback stream is derived
+    deterministically from ``seed`` through :mod:`repro.sim.rng` -- never
+    from fresh entropy -- so standalone selectors reproduce like the full
+    harness does.
+    """
     factory = _REGISTRY.get(name)
     if factory is None:
         raise ConfigurationError(
@@ -55,7 +63,7 @@ def create_selector(
             f"available: {', '.join(available_algorithms())}"
         )
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = stream_from_seed(seed, f"selector.{name}")
     return factory(concurrency_weight, prior_service_rate, rng)
 
 

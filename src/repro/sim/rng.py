@@ -49,3 +49,14 @@ class RngRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RngRegistry seed={self.seed} streams={len(self._streams)}>"
+
+
+def stream_from_seed(seed: int, name: str) -> np.random.Generator:
+    """One named stream derived from ``seed``, without keeping a registry.
+
+    Convenience for entry points that accept ``rng=None`` plus a ``seed``:
+    the fallback generator is identical to ``RngRegistry(seed).stream(name)``,
+    so ad-hoc callers and the full experiment harness draw from the same
+    deterministic universe.
+    """
+    return RngRegistry(seed).stream(name)
