@@ -1,0 +1,11 @@
+"""API001 fixture: __all__ out of sync with the module's public surface."""
+
+__all__ = ["run", "ghost"]
+
+
+def run():
+    return 1
+
+
+def report():
+    return 2

@@ -1,0 +1,17 @@
+"""API001 clean fixture: __all__ lists exactly the public names."""
+
+__all__ = ["THRESHOLD", "report", "run"]
+
+THRESHOLD = 3
+
+
+def run():
+    return 1
+
+
+def report():
+    return 2
+
+
+def _helper():
+    return 0

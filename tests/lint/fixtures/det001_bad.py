@@ -1,0 +1,12 @@
+"""DET001 fixture: unseeded randomness outside repro.sim.rng."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + np.random.default_rng().random()
+
+
+def reseed():
+    np.random.seed(42)

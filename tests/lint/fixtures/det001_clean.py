@@ -1,0 +1,13 @@
+"""DET001 clean fixture: randomness through named seeded streams."""
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+def jitter(seed: int) -> float:
+    rng = RngRegistry(seed).stream("fixture.jitter")
+    return float(rng.random())
+
+
+def annotated(rng: np.random.Generator, seed: int = 0) -> float:
+    return float(rng.uniform(0.0, 1.0))

@@ -1,0 +1,9 @@
+"""DET002 fixture: wall-clock reads in simulated code."""
+import time
+from datetime import datetime
+
+
+def measure():
+    started = time.perf_counter()
+    stamp = datetime.now()
+    return time.time() - started, stamp

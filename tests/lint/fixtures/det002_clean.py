@@ -1,0 +1,13 @@
+"""DET002 clean fixture: durations measured in simulated time."""
+
+
+def measure(env):
+    started = env.now
+    env.run(until=started + 1.0)
+    return env.now - started
+
+
+def suppressed():
+    import time
+
+    return time.perf_counter()  # repro: noqa(DET002) - reported only

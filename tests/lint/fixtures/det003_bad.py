@@ -1,0 +1,11 @@
+"""DET003 fixture: hash-ordered iteration feeding the event schedule."""
+
+
+def broadcast(env, packet, delay):
+    for host in {packet.src, packet.dst}:
+        env.post_in(delay, host.deliver, (packet,))
+
+
+def flush(env, dirty):
+    for key in set(dirty):
+        env.call_in(0.0, print, key)

@@ -1,0 +1,11 @@
+"""DET003 clean fixture: sorted iteration before scheduling."""
+
+
+def broadcast(env, packet, delay):
+    for host in sorted({packet.src, packet.dst}):
+        env.post_in(delay, host.deliver, (packet,))
+
+
+def summarize(counts):
+    # Unordered iteration is fine when nothing is scheduled from it.
+    return max(value for value in {1, 2, 3})

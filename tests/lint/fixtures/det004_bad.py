@@ -1,0 +1,7 @@
+"""DET004 fixture: exact float equality against simulated time."""
+
+
+def expired(env, deadline):
+    if env.now == deadline:
+        return True
+    return env.now != deadline

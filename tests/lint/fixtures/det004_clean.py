@@ -1,0 +1,8 @@
+"""DET004 clean fixture: ordering comparisons against simulated time."""
+import math
+
+
+def expired(env, deadline):
+    if env.now >= deadline:
+        return True
+    return math.isclose(env.now, deadline)

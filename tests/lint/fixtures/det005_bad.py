@@ -1,0 +1,11 @@
+"""DET005 fixture: mutable default arguments."""
+from collections import deque
+
+
+def run(batch, sinks=[], options={}):
+    return batch, sinks, options
+
+
+def queue_up(item, pending=deque()):
+    pending.append(item)
+    return pending

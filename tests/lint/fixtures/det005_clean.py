@@ -1,0 +1,13 @@
+"""DET005 clean fixture: None defaults constructed inside the function."""
+
+
+def run(batch, sinks=None, options=None):
+    if sinks is None:
+        sinks = []
+    if options is None:
+        options = {}
+    return batch, sinks, options
+
+
+def scaled(value, factor=1.0, label=""):
+    return value * factor, label

@@ -1,0 +1,11 @@
+"""SIM001 fixture: scheduled lambda closing over the loop variable."""
+
+
+def poll_all(env, servers, delay):
+    for server in servers:
+        env.call_in(delay, lambda: server.poll())
+
+
+def arm(env, timers):
+    for name, when in timers:
+        env.call_at(when, lambda: print(name))

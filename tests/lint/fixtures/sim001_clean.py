@@ -1,0 +1,11 @@
+"""SIM001 clean fixture: loop values bound eagerly."""
+
+
+def poll_all(env, servers, delay):
+    for server in servers:
+        env.call_in(delay, lambda s=server: s.poll())
+
+
+def arm(env, timers):
+    for name, when in timers:
+        env.call_at(when, print, name)

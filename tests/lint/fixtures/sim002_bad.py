@@ -1,0 +1,5 @@
+"""SIM002 fixture: public entry point taking an RNG but no seed source."""
+
+
+def run_batch(jobs, rng=None):
+    return [rng.random() for _ in jobs]

@@ -1,0 +1,18 @@
+"""SIM002 clean fixture: entry points carry a seed (or config) parameter."""
+
+
+def run_batch(jobs, rng=None, seed=0):
+    return list(jobs), rng, seed
+
+
+def run_from_config(config, rng=None):
+    return config, rng
+
+
+def _internal_helper(rng):
+    return rng
+
+
+class Sampler:
+    def __init__(self, rng):  # methods are exempt: the class owner seeds it
+        self.rng = rng

@@ -1,0 +1,99 @@
+"""CLI surface: ``netrs lint`` dispatch, exit codes, --stats, JSON output,
+baseline flags, and the acceptance criterion that the shipped tree is clean."""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.cli import main as netrs_main
+from repro.lint.cli import main as lint_main
+from repro.lint.rules import RULES
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture
+def bad_tree(tmp_path, monkeypatch):
+    """A tiny tree with one DET001 finding; cwd moved there so the CLI's
+    default baseline discovery is exercised hermetically."""
+    (tmp_path / "m.py").write_text("import random\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_shipped_tree_lints_clean():
+    """`netrs lint src/repro` must exit 0 on the final tree (ISSUE 3)."""
+    assert SRC_REPRO.is_dir()
+    exit_code = lint_main([str(SRC_REPRO), "--no-baseline"])
+    assert exit_code == 0
+
+
+def test_findings_mean_exit_one(bad_tree, capsys):
+    assert lint_main(["m.py"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "m.py:1:1" in out
+
+
+def test_netrs_lint_subcommand_dispatches(bad_tree, capsys):
+    assert netrs_main(["lint", "m.py"]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_stats_mode_prints_per_rule_counts_and_totals(bad_tree, capsys):
+    exit_code = lint_main(["m.py", "--stats"])
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "per-rule finding counts:" in out
+    for rule_id in RULES:
+        assert rule_id in out
+    assert "files analyzed:    1" in out
+    assert "findings:          1" in out
+
+
+def test_json_output_and_output_file(bad_tree):
+    exit_code = lint_main(["m.py", "--format", "json", "--output", "report.json"])
+    assert exit_code == 1
+    payload = json.loads((bad_tree / "report.json").read_text())
+    assert payload["stats"]["per_rule"]["DET001"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["DET001"]
+
+
+def test_write_baseline_then_lint_is_clean(bad_tree, capsys):
+    assert lint_main(["m.py", "--write-baseline"]) == 0
+    assert os.path.exists("lint-baseline.json")
+    # Default baseline discovery picks the file up from the cwd.
+    assert lint_main(["m.py"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline sees through the grandfathering.
+    assert lint_main(["m.py", "--no-baseline"]) == 1
+
+
+def test_new_findings_fail_even_with_baseline(bad_tree):
+    assert lint_main(["m.py", "--write-baseline"]) == 0
+    (bad_tree / "m.py").write_text("import random\nimport random\n")
+    assert lint_main(["m.py"]) == 1
+
+
+def test_list_rules_and_explain(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+    assert lint_main(["--explain", "det001"]) == 0
+    assert "DET001" in capsys.readouterr().out
+    assert lint_main(["--explain", "NOPE999"]) == 2
+
+
+def test_missing_path_is_a_usage_error(bad_tree):
+    assert lint_main(["does-not-exist/"]) == 2
+
+
+def test_committed_baseline_is_empty():
+    """The repo's grandfathered-findings file must stay empty: new debt is
+    fixed, not baselined (ISSUE 3 acceptance)."""
+    baseline = REPO_ROOT / "lint-baseline.json"
+    assert baseline.is_file()
+    assert json.loads(baseline.read_text())["entries"] == []

@@ -1,0 +1,158 @@
+"""Engine behaviour: noqa suppression, baseline workflow, JSON schema."""
+
+import json
+
+from repro.lint import Baseline, Finding, lint_paths, lint_source
+from repro.lint.baseline import BASELINE_VERSION
+from repro.lint.engine import iter_python_files, parse_suppressions
+from repro.lint.findings import JSON_REPORT_VERSION
+
+BAD_LINE = "started = time.perf_counter()\n"
+
+
+# ---------------------------------------------------------------------------
+# noqa suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_noqa_with_matching_rule_suppresses():
+    source = BAD_LINE.rstrip() + "  # repro: noqa(DET002)\n"
+    assert lint_source(source, path="m.py") == []
+
+
+def test_noqa_bare_suppresses_every_rule():
+    source = "import random  # repro: noqa\n"
+    assert lint_source(source, path="m.py") == []
+
+
+def test_noqa_with_other_rule_does_not_suppress():
+    source = BAD_LINE.rstrip() + "  # repro: noqa(DET001)\n"
+    findings = lint_source(source, path="m.py")
+    assert [f.rule for f in findings] == ["DET002"]
+
+
+def test_noqa_only_covers_its_own_line():
+    source = "import random  # repro: noqa(DET001)\nimport random\n"
+    findings = lint_source(source, path="m.py")
+    assert [(f.rule, f.line) for f in findings] == [("DET001", 2)]
+
+
+def test_noqa_accepts_multiple_rules_case_insensitively():
+    source = "import random  # repro: NOQA(det001, DET002)\n"
+    assert lint_source(source, path="m.py") == []
+
+
+def test_parse_suppressions_maps_lines():
+    got = parse_suppressions(
+        "a = 1\nb = 2  # repro: noqa(DET001,SIM002)\nc = 3  # repro: noqa\n"
+    )
+    assert got == {2: {"DET001", "SIM002"}, 3: None}
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def _finding(rule="DET002", path="m.py", line=1, message="wall-clock read"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_baseline_absorbs_known_findings_but_not_new_instances():
+    known = _finding(line=10)
+    baseline = Baseline.from_findings([known])
+    # Same fingerprint at a different line: absorbed (line-independent).
+    shifted = _finding(line=99)
+    new_rule = _finding(rule="DET001", message="import of random")
+    kept, absorbed = baseline.apply([shifted, new_rule])
+    assert absorbed == 1
+    assert kept == [new_rule]
+
+
+def test_baseline_counts_bound_how_many_matches_are_absorbed():
+    baseline = Baseline.from_findings([_finding(), _finding()])
+    findings = [_finding(line=n) for n in (1, 2, 3)]
+    kept, absorbed = baseline.apply(findings)
+    assert absorbed == 2
+    assert len(kept) == 1
+
+
+def test_baseline_roundtrip(tmp_path):
+    baseline = Baseline.from_findings([_finding(), _finding(rule="SIM001")])
+    target = tmp_path / "lint-baseline.json"
+    baseline.save(str(target))
+    payload = json.loads(target.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert {e["rule"] for e in payload["entries"]} == {"DET002", "SIM001"}
+    loaded = Baseline.load(str(target))
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 2
+
+
+def test_lint_paths_applies_baseline(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text("import time\nt = time.perf_counter()\n")
+    full = lint_paths([str(tmp_path)], display_relative_to=str(tmp_path))
+    assert [f.rule for f in full.findings] == ["DET002"]
+    baseline = Baseline.from_findings(full.findings)
+    gated = lint_paths(
+        [str(tmp_path)],
+        baseline=baseline,
+        display_relative_to=str(tmp_path),
+    )
+    assert gated.clean
+    assert gated.baselined == 1
+
+
+# ---------------------------------------------------------------------------
+# file walking and report shape
+# ---------------------------------------------------------------------------
+
+
+def test_iter_python_files_is_sorted_and_deduplicated(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "c.py").write_text("x = 1\n")
+    (sub / "notes.txt").write_text("not python\n")
+    files = iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+    names = [f.rsplit("/", 1)[-1] for f in files]
+    assert names == ["a.py", "b.py", "c.py"]
+
+
+def test_syntax_errors_are_reported_not_raised(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    report = lint_paths([str(tmp_path)], display_relative_to=str(tmp_path))
+    assert not report.clean
+    assert [f.rule for f in report.parse_errors] == ["PARSE"]
+
+
+def test_json_report_schema(tmp_path):
+    (tmp_path / "m.py").write_text("import random\n")
+    report = lint_paths([str(tmp_path)], display_relative_to=str(tmp_path))
+    payload = report.to_json()
+    assert payload["version"] == JSON_REPORT_VERSION
+    assert payload["files_analyzed"] == 1
+    assert set(payload) == {
+        "version", "files_analyzed", "suppressed", "baselined",
+        "findings", "parse_errors", "stats",
+    }
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == "m.py"  # relative, machine-independent
+    # Stats are zero-filled over every registered rule.
+    per_rule = payload["stats"]["per_rule"]
+    assert per_rule["DET001"] == 1
+    assert per_rule["DET005"] == 0
+    # The report must be JSON-serialisable as-is.
+    json.dumps(payload)
+
+
+def test_reports_are_deterministic(tmp_path):
+    (tmp_path / "a.py").write_text("import random\nimport time\n")
+    (tmp_path / "b.py").write_text("t = time.time()\n")
+    first = lint_paths([str(tmp_path)], display_relative_to=str(tmp_path))
+    second = lint_paths([str(tmp_path)], display_relative_to=str(tmp_path))
+    assert json.dumps(first.to_json()) == json.dumps(second.to_json())

@@ -1,0 +1,91 @@
+"""Every shipped rule fires on its violating fixture and stays silent on a
+clean one (ISSUE 3 acceptance criterion)."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import RULES, lint_source
+from repro.lint.rules import explain
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: rule id -> (fixture stem, expected finding count in the bad fixture).
+EXPECTED = {
+    "DET001": ("det001", 4),
+    "DET002": ("det002", 3),
+    "DET003": ("det003", 2),
+    "DET004": ("det004", 2),
+    "DET005": ("det005", 3),
+    "SIM001": ("sim001", 2),
+    "SIM002": ("sim002", 1),
+    "API001": ("api001", 2),
+}
+
+
+def _lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(path.read_text(encoding="utf-8"), path=str(path))
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    assert set(EXPECTED) == set(RULES)
+    for stem, _count in EXPECTED.values():
+        assert (FIXTURES / f"{stem}_bad.py").is_file()
+        assert (FIXTURES / f"{stem}_clean.py").is_file()
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+def test_rule_fires_on_violating_fixture(rule_id):
+    stem, count = EXPECTED[rule_id]
+    findings = _lint_fixture(f"{stem}_bad.py")
+    assert findings, f"{rule_id} produced no findings on {stem}_bad.py"
+    assert {f.rule for f in findings} == {rule_id}
+    assert len(findings) == count
+    # Locations must be concrete (1-based) so reports are actionable.
+    assert all(f.line >= 1 and f.col >= 1 for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+def test_rule_silent_on_clean_fixture(rule_id):
+    stem, _count = EXPECTED[rule_id]
+    findings = _lint_fixture(f"{stem}_clean.py")
+    assert [f for f in findings if f.rule == rule_id] == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+def test_clean_fixtures_are_fully_clean(rule_id):
+    """Clean fixtures double as cross-rule regression material: no rule at
+    all may fire on them (noqa-suppressed lines are allowed)."""
+    stem, _count = EXPECTED[rule_id]
+    assert _lint_fixture(f"{stem}_clean.py") == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+def test_rule_is_documented(rule_id):
+    rule = RULES[rule_id]
+    assert rule.title
+    assert len(rule.rationale) > 40
+    text = explain(rule_id)
+    assert rule_id in text and "Bad:" in text and "Fix:" in text
+
+
+def test_det001_exempts_the_rng_registry_itself():
+    source = "import numpy as np\nseq = np.random.SeedSequence(entropy=(1, 2))\n"
+    findings = lint_source(source, path="src/repro/sim/rng.py")
+    assert findings == []
+
+
+def test_det001_allows_generator_construction_from_seed_material():
+    source = (
+        "import numpy as np\n"
+        "g = np.random.Generator(np.random.PCG64(np.random.SeedSequence(1)))\n"
+    )
+    assert lint_source(source, path="module.py") == []
+
+
+def test_det002_exempts_bench_and_progress():
+    source = "import time\nt = time.perf_counter()\n"
+    assert lint_source(source, path="src/repro/sim/bench.py") == []
+    assert lint_source(source, path="src/repro/exec/progress.py") == []
+    assert len(lint_source(source, path="src/repro/network/host.py")) == 1
