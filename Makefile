@@ -2,13 +2,16 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci bench bench-smoke bench-figures lint-clean help
+.PHONY: install test test-fast test-slow ci bench bench-smoke bench-figures lint lint-report lint-baseline help
 
 help:
 	@echo "install       editable install"
 	@echo "test          full test suite (incl. slow shape assertions)"
 	@echo "test-fast     fast tests only (~15 s)"
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
+	@echo "lint          determinism sanitizer + ruff + mypy (latter two skip if absent)"
+	@echo "lint-report   lint with JSON output to lint-report.json (CI artifact)"
+	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
@@ -27,6 +30,23 @@ test-slow:
 
 ci:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Three layers: the project AST sanitizer is mandatory; ruff/mypy run when
+# installed (pip install -e ".[lint]") and are skipped gracefully otherwise
+# so `make lint` works in the minimal container.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --stats
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed; skipping (pip install -e '.[lint]')"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipping (pip install -e '.[lint]')"; fi
+
+lint-report:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro \
+		--format json --output lint-report.json
+
+lint-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --write-baseline
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
