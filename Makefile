@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci bench bench-smoke bench-figures lint lint-report lint-baseline help
+.PHONY: install test test-fast test-slow ci bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
 
 help:
 	@echo "install       editable install"
@@ -14,6 +14,8 @@ help:
 	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
+	@echo "bench-profile harness suite under cProfile (pstats under benchmarks/results/)"
+	@echo "bench-compare harness suite vs committed BENCH_4.json (warn-only)"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
 install:
@@ -56,6 +58,17 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_engine.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-min-rounds=3 --benchmark-warmup=off \
 		--benchmark-json=benchmarks/results/bench-smoke.json
+
+bench-profile:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.sim.bench \
+		--repeats 2 --profile benchmarks/results/bench-profile.pstats
+
+bench-compare:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.sim.bench \
+		--repeats 3 --compare BENCH_4.json \
+		--compare-out benchmarks/results/bench-compare.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/test_bench_fig4_clients.py \

@@ -5,13 +5,16 @@ from __future__ import annotations
 import math
 from typing import Dict, Mapping
 
+import numpy as np
+
 
 def server_load_shares(counts: Mapping[str, int]) -> Dict[str, float]:
     """Normalize per-server request counts to shares summing to 1."""
-    total = sum(counts.values())
+    values = np.fromiter(counts.values(), dtype=float, count=len(counts))
+    total = values.sum()
     if total == 0:
         return {name: math.nan for name in counts}
-    return {name: value / total for name, value in counts.items()}
+    return dict(zip(counts, (values / total).tolist()))
 
 
 def jain_fairness(counts: Mapping[str, int]) -> float:
@@ -21,11 +24,11 @@ def jain_fairness(counts: Mapping[str, int]) -> float:
     alongside the herd metrics: consistent hashing plus load-aware selection
     should keep this near 1 even under Zipfian keys.
     """
-    values = list(counts.values())
-    if not values:
+    if not counts:
         return math.nan
-    total = sum(values)
+    values = np.fromiter(counts.values(), dtype=float, count=len(counts))
+    total = float(values.sum())
     if total == 0:
         return math.nan
-    squares = sum(v * v for v in values)
+    squares = float(values @ values)
     return (total * total) / (len(values) * squares)

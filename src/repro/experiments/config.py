@@ -56,6 +56,7 @@ class ExperimentConfig:
     # --- simulator performance knobs (identical results either way) --------
     route_cache_size: int = 65536  # ECMP path memoization bound; 0 = bypass
     engine_compaction: bool = True  # compact cancelled timers in the heap
+    rng_batch_size: int = 1024  # pre-drawn RNG block length; 0 = bypass
     background_traffic_rate: float = 0.0  # packets/s between idle hosts
     background_packet_size: int = 1024
     # --- key-value store --------------------------------------------------
@@ -186,6 +187,8 @@ class ExperimentConfig:
             raise ConfigurationError("demand_skew must be in (0, 1)")
         if self.route_cache_size < 0:
             raise ConfigurationError("route_cache_size must be >= 0 (0 = off)")
+        if self.rng_batch_size < 0:
+            raise ConfigurationError("rng_batch_size must be >= 0 (0 = off)")
         if self.background_traffic_rate < 0:
             raise ConfigurationError("background_traffic_rate must be >= 0")
         if self.background_traffic_rate > 0:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: The four metrics every figure of the paper reports.
@@ -46,7 +48,8 @@ def mean_of_summaries(summaries: Iterable[Mapping[str, float]]) -> Dict[str, flo
     summaries = list(summaries)
     if not summaries:
         raise ConfigurationError("cannot average an empty set of summaries")
-    keys = summaries[0].keys()
-    return {
-        key: sum(s[key] for s in summaries) / len(summaries) for key in keys
-    }
+    keys = list(summaries[0].keys())
+    matrix = np.array(
+        [[s[key] for key in keys] for s in summaries], dtype=float
+    )
+    return dict(zip(keys, matrix.mean(axis=0).tolist()))

@@ -116,15 +116,19 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
         hot_fraction=config.hot_fraction,
         rng=rng.stream("workload.skew") if config.demand_skew is not None else None,
     )
+    # Single-family draw sites are served from pre-drawn blocks (pure perf
+    # knob, bit-identical — see docs/SIMULATOR.md "Batched RNG streams").
+    # The open-loop arrival stream interleaves families and must stay raw.
+    batch = config.rng_batch_size
     sampler = ZipfSampler(
-        config.key_space, config.zipf_exponent, rng.stream("workload.keys")
+        config.key_space, config.zipf_exponent, rng.batched("workload.keys", batch)
     )
     if config.workload_mode == "closed":
         workload = ClosedLoopWorkload(
             env,
             clients=clients,
             key_sampler=sampler,
-            rng=rng.stream("workload.arrivals"),
+            rng=rng.batched("workload.arrivals", batch),
             total_requests=config.total_requests,
             window=config.closed_window,
             think_time=config.think_time,
@@ -243,13 +247,14 @@ def _build_servers(
     server_hosts: List[str],
 ) -> Dict[str, KVServer]:
     servers: Dict[str, KVServer] = {}
+    batch = config.rng_batch_size
     for name in server_hosts:
         if config.fluctuation_range > 1.0:
             model = BimodalFluctuation(
                 base_service_time=config.mean_service_time,
                 range_parameter=config.fluctuation_range,
                 interval=config.fluctuation_interval,
-                rng=rng.stream(f"fluctuation.{name}"),
+                rng=rng.batched(f"fluctuation.{name}", batch),
             )
         else:
             model = StableService(config.mean_service_time)
@@ -258,7 +263,7 @@ def _build_servers(
             hosts[name],
             service_model=model,
             parallelism=config.parallelism,
-            rng=rng.stream(f"service.{name}"),
+            rng=rng.batched(f"service.{name}", batch),
             value_size=config.value_size,
             rate_ewma_alpha=config.ewma_alpha,
         )
@@ -302,7 +307,11 @@ def _build_clients(
                 tracker=tracker,
                 netrs=config.netrs,
                 redundancy=redundancy,
-                rng=rng.stream(f"redundancy.{name}") if redundancy else None,
+                rng=(
+                    rng.batched(f"redundancy.{name}", config.rng_batch_size)
+                    if redundancy
+                    else None
+                ),
                 write_recorder=write_recorder,
                 write_quorum=config.write_quorum,
             )

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
 from scipy import stats
 
 from repro.errors import ConfigurationError
@@ -49,11 +50,12 @@ def mean_and_ci(samples: Sequence[float], confidence: float = 0.95) -> Estimate:
         raise ConfigurationError("need at least one sample")
     if not 0 < confidence < 1:
         raise ConfigurationError("confidence must be in (0, 1)")
-    n = len(samples)
-    mean = sum(samples) / n
+    data = np.asarray(samples, dtype=float)
+    n = len(data)
+    mean = float(np.mean(data))
     if n == 1:
         return Estimate(mean=mean, half_width=math.inf, confidence=confidence, samples=1)
-    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    variance = float(np.var(data, ddof=1))
     if variance == 0:
         return Estimate(mean=mean, half_width=0.0, confidence=confidence, samples=n)
     t_value = stats.t.ppf(0.5 + confidence / 2, df=n - 1)
@@ -91,7 +93,9 @@ def paired_comparison(
         raise ConfigurationError("paired comparison needs equal-length samples")
     if len(baseline) < 2:
         raise ConfigurationError("paired comparison needs at least 2 pairs")
-    differences = [b - o for b, o in zip(baseline, other)]
+    differences = (
+        np.asarray(baseline, dtype=float) - np.asarray(other, dtype=float)
+    ).tolist()
     estimate = mean_and_ci(differences, confidence)
     if all(d == differences[0] for d in differences):
         p_value = 0.0 if differences[0] != 0 else 1.0

@@ -21,8 +21,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.kvstore.hashing import ConsistentHashRing
 from repro.network.host import Host
@@ -30,6 +28,7 @@ from repro.network.packet import Packet, make_request
 from repro.selection.base import ReplicaSelector
 from repro.sim.core import Environment
 from repro.sim.probes import LatencyRecorder
+from repro.sim.rng import DrawSource
 
 #: Shared generator of globally unique request IDs.
 _request_ids = itertools.count(1)
@@ -70,6 +69,8 @@ class _Outstanding:
 class CompletionTracker:
     """Counts first responses so the runner knows when the run is over."""
 
+    __slots__ = ("expected", "completed", "_callbacks")
+
     def __init__(self, expected: int) -> None:
         if expected < 1:
             raise ConfigurationError("expected completions must be >= 1")
@@ -92,6 +93,31 @@ class CompletionTracker:
 class KVClient:
     """One client endpoint of the key-value store."""
 
+    __slots__ = (
+        "env",
+        "host",
+        "name",
+        "ring",
+        "selector",
+        "recorder",
+        "tracker",
+        "netrs",
+        "redundancy",
+        "_draws",
+        "write_recorder",
+        "write_quorum",
+        "_outstanding",
+        "_history",
+        "_cached_threshold",
+        "_samples_since_refresh",
+        "trace_sink",
+        "on_complete",
+        "requests_sent",
+        "redundant_sent",
+        "responses_received",
+        "late_responses",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -103,7 +129,7 @@ class KVClient:
         tracker: Optional[CompletionTracker] = None,
         netrs: bool = False,
         redundancy: Optional[RedundancyPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[DrawSource] = None,
         write_recorder: Optional[LatencyRecorder] = None,
         write_quorum: Optional[int] = None,
     ) -> None:
@@ -121,7 +147,7 @@ class KVClient:
         self.tracker = tracker
         self.netrs = netrs
         self.redundancy = redundancy
-        self._rng = rng
+        self._draws = rng
         self.write_recorder = write_recorder
         if write_quorum is not None and write_quorum < 1:
             raise ConfigurationError("write_quorum must be >= 1")
@@ -293,8 +319,8 @@ class KVClient:
         others = [r for r in entry.replicas if r != entry.primary_target]
         if not others:
             return
-        if self._rng is not None and len(others) > 1:
-            target = others[int(self._rng.integers(len(others)))]
+        if self._draws is not None and len(others) > 1:
+            target = others[int(self._draws.integers(len(others)))]
         else:
             target = others[0]
         self.selector.note_sent(target, self.env.now)

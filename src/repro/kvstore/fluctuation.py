@@ -9,14 +9,15 @@ be either ``t_kv`` or ``t_kv / d`` with equal probability (range parameter
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.sim.core import Environment
+from repro.sim.rng import DrawSource
 
 
 class StableService:
     """Degenerate model: constant mean service time (ablation baseline)."""
+
+    __slots__ = ("mean_service_time",)
 
     def __init__(self, mean_service_time: float) -> None:
         if mean_service_time <= 0:
@@ -39,13 +40,22 @@ class StableService:
 class BimodalFluctuation:
     """Bimodal mean-service-time fluctuation with a fixed redraw interval."""
 
+    __slots__ = (
+        "base_service_time",
+        "range_parameter",
+        "interval",
+        "_draws",
+        "_current",
+        "redraws",
+    )
+
     def __init__(
         self,
         *,
         base_service_time: float,
         range_parameter: float = 3.0,
         interval: float = 50e-3,
-        rng: np.random.Generator,
+        rng: DrawSource,
     ) -> None:
         if base_service_time <= 0:
             raise ConfigurationError("base_service_time must be positive")
@@ -56,12 +66,12 @@ class BimodalFluctuation:
         self.base_service_time = base_service_time
         self.range_parameter = range_parameter
         self.interval = interval
-        self._rng = rng
+        self._draws = rng
         self._current = self._draw()
         self.redraws = 0
 
     def _draw(self) -> float:
-        if self._rng.random() < 0.5:
+        if self._draws.random() < 0.5:
             return self.base_service_time
         return self.base_service_time / self.range_parameter
 

@@ -67,6 +67,14 @@ class ConsistentHashRing:
         self._groups: List[Tuple[str, ...]] = [
             self._walk_replicas(i) for i in range(len(points))
         ]
+        # Key-lookup memo: the ring is frozen after construction and
+        # group_for_key is a pure function of the key, so Zipf-skewed
+        # workloads (hot keys repeat constantly) hit this cache instead of
+        # re-hashing md5 per request.  Bounded to keep huge key spaces from
+        # accumulating; clearing is deterministic, so results are unchanged.
+        self._key_cache: Dict[int, Tuple[int, Tuple[str, ...]]] = {}
+
+    _KEY_CACHE_LIMIT = 1 << 17
 
     def _walk_replicas(self, start: int) -> Tuple[str, ...]:
         """First ``replication_factor`` distinct servers clockwise of a point."""
@@ -91,11 +99,18 @@ class ConsistentHashRing:
 
     def group_for_key(self, key: int) -> Tuple[int, Tuple[str, ...]]:
         """Map a key to ``(rgid, replica servers)``."""
+        hit = self._key_cache.get(key)
+        if hit is not None:
+            return hit
         point = stable_hash(f"key:{key}") % _HASH_SPACE
         index = bisect.bisect_left(self._hashes, point)
         if index == len(self._hashes):
             index = 0
-        return index, self._groups[index]
+        if len(self._key_cache) >= self._KEY_CACHE_LIMIT:
+            self._key_cache.clear()
+        result = (index, self._groups[index])
+        self._key_cache[key] = result
+        return result
 
     def replicas(self, rgid: int) -> Tuple[str, ...]:
         """Replica-group database lookup: RGID -> candidate servers."""

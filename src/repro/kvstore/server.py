@@ -13,11 +13,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Protocol, Tuple
 
-import numpy as np
-
 from repro.network.host import Host
 from repro.network.packet import Packet, ServerStatus, make_response
 from repro.sim.core import Environment
+from repro.sim.rng import DrawSource
 
 
 class ServiceModel(Protocol):
@@ -36,6 +35,23 @@ class ServiceModel(Protocol):
 class KVServer:
     """One replica server of the key-value store."""
 
+    __slots__ = (
+        "env",
+        "host",
+        "name",
+        "service_model",
+        "parallelism",
+        "value_size",
+        "_draws",
+        "_alpha",
+        "_waiting",
+        "_in_service",
+        "_ewma_service_time",
+        "completions",
+        "arrivals",
+        "max_queue_seen",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -43,7 +59,7 @@ class KVServer:
         *,
         service_model: ServiceModel,
         parallelism: int = 4,
-        rng: np.random.Generator,
+        rng: DrawSource,
         value_size: int = 1024,
         rate_ewma_alpha: float = 0.9,
     ) -> None:
@@ -57,7 +73,7 @@ class KVServer:
         self.service_model = service_model
         self.parallelism = parallelism
         self.value_size = value_size
-        self._rng = rng
+        self._draws = rng
         self._alpha = rate_ewma_alpha
         self._waiting: Deque[Tuple[Packet, float]] = deque()
         self._in_service = 0
@@ -107,7 +123,7 @@ class KVServer:
 
     def _begin_service(self, packet: Packet, arrived_at: float) -> None:
         self._in_service += 1
-        duration = self._rng.exponential(self.service_model.current_mean)
+        duration = self._draws.exponential(self.service_model.current_mean)
         packet.server_queue_delay = self.env.now - arrived_at
         packet.server_service_time = duration
         self.env.post_in(duration, self._complete, (packet, duration))

@@ -10,12 +10,14 @@ of the clients.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.core import Environment
+from repro.sim.rng import DrawSource
 
 
 class ZipfSampler:
@@ -25,14 +27,16 @@ class ZipfSampler:
     no O(n) table, which matters for the paper's 100-million-key space.
     """
 
-    def __init__(self, n: int, s: float, rng: np.random.Generator) -> None:
+    __slots__ = ("n", "s", "_draws", "_h_x1", "_h_n", "_threshold")
+
+    def __init__(self, n: int, s: float, rng: DrawSource) -> None:
         if n < 1:
             raise ConfigurationError(f"key space must be >= 1, got {n}")
         if s <= 0:
             raise ConfigurationError(f"Zipf exponent must be positive, got {s}")
         self.n = n
         self.s = s
-        self._rng = rng
+        self._draws = rng
         self._h_x1 = self._h_integral(1.5) - 1.0
         self._h_n = self._h_integral(n + 0.5)
         self._threshold = 2.0 - self._h_integral_inverse(
@@ -55,7 +59,7 @@ class ZipfSampler:
     def sample(self) -> int:
         """Draw one key in ``{1..n}``."""
         while True:
-            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
+            u = self._h_n + self._draws.random() * (self._h_x1 - self._h_n)
             x = self._h_integral_inverse(u)
             k = int(x + 0.5)
             if k < 1:
@@ -87,6 +91,16 @@ class DemandWeights:
     issued by ``hot_fraction`` (default 20 %) of the clients.  ``skew=None``
     means uniform demand.  Which clients are hot is drawn from ``rng``.
     """
+
+    __slots__ = (
+        "n_clients",
+        "skew",
+        "hot_fraction",
+        "hot_clients",
+        "probabilities",
+        "_cumulative",
+        "_cumulative_list",
+    )
 
     def __init__(
         self,
@@ -125,10 +139,18 @@ class DemandWeights:
         self._cumulative = np.cumsum(weights)
         # Guard against floating-point drift in the final bin.
         self._cumulative[-1] = 1.0
+        # Python-float copy for bisect: same values, no per-sample ufunc
+        # dispatch (bisect_right == np.searchsorted(..., side="right")).
+        self._cumulative_list = self._cumulative.tolist()
 
     def sample(self, rng: np.random.Generator) -> int:
-        """Draw one client index according to the demand distribution."""
-        return int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+        """Draw one client index according to the demand distribution.
+
+        ``rng`` is the caller's stream: the open-loop driver interleaves
+        this uniform draw with its exponential gaps on one generator, which
+        is exactly the mixed-family pattern BatchedStream cannot serve.
+        """
+        return bisect_right(self._cumulative_list, rng.random())  # repro: noqa(PERF001) - mixed-family arrival stream must stay scalar
 
     def achieved_skew(self, counts: Sequence[int]) -> float:
         """Fraction of requests issued by the hot clients in ``counts``."""
@@ -152,7 +174,30 @@ class RequestSink(Protocol):
 
 
 class OpenLoopWorkload:
-    """Aggregate Poisson arrivals fanned out to clients by demand weight."""
+    """Aggregate Poisson arrivals fanned out to clients by demand weight.
+
+    The arrival stream interleaves three distribution families on one
+    generator (exponential gaps, the uniform weight pick, the uniform
+    write-fraction check), so it must stay on a raw scalar generator: a
+    :class:`~repro.sim.rng.BatchedStream` would consume the bitstream in a
+    different order and change every downstream draw.
+    """
+
+    __slots__ = (
+        "env",
+        "rate",
+        "clients",
+        "weights",
+        "key_sampler",
+        "_rng",
+        "total_requests",
+        "warmup_requests",
+        "write_fraction",
+        "on_finished",
+        "issued",
+        "writes_issued",
+        "per_client_counts",
+    )
 
     def __init__(
         self,
@@ -198,7 +243,7 @@ class OpenLoopWorkload:
 
     def start(self) -> None:
         """Schedule the first arrival."""
-        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)
+        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)  # repro: noqa(PERF001) - mixed-family stream, see class docstring
 
     def _arrival(self) -> None:
         index = self.weights.sample(self._rng)
@@ -206,13 +251,13 @@ class OpenLoopWorkload:
         record = self.issued >= self.warmup_requests
         self.per_client_counts[index] += 1
         self.issued += 1
-        if self.write_fraction and self._rng.random() < self.write_fraction:
+        if self.write_fraction and self._rng.random() < self.write_fraction:  # repro: noqa(PERF001) - mixed-family stream, see class docstring
             self.writes_issued += 1
             self.clients[index].issue_write(key, record=record)
         else:
             self.clients[index].issue(key, record=record)
         if self.issued < self.total_requests:
-            self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)
+            self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)  # repro: noqa(PERF001) - mixed-family stream, see class docstring
         elif self.on_finished is not None:
             self.on_finished()
 
@@ -230,13 +275,28 @@ class ClosedLoopWorkload:
     :class:`~repro.kvstore.client.KVClient`).
     """
 
+    __slots__ = (
+        "env",
+        "clients",
+        "key_sampler",
+        "_draws",
+        "total_requests",
+        "window",
+        "think_time",
+        "warmup_requests",
+        "on_finished",
+        "issued",
+        "per_client_counts",
+        "_index_of",
+    )
+
     def __init__(
         self,
         env: Environment,
         *,
         clients: Sequence["RequestSink"],
         key_sampler: ZipfSampler,
-        rng: np.random.Generator,
+        rng: DrawSource,
         total_requests: int,
         window: int = 1,
         think_time: float = 0.0,
@@ -258,7 +318,7 @@ class ClosedLoopWorkload:
         self.env = env
         self.clients = list(clients)
         self.key_sampler = key_sampler
-        self._rng = rng
+        self._draws = rng
         self.total_requests = total_requests
         self.window = window
         self.think_time = think_time
@@ -293,8 +353,9 @@ class ClosedLoopWorkload:
         if self.issued >= self.total_requests:
             return
         if self.think_time > 0:
-            # Exponential think time keeps clients desynchronized.
-            delay = self._rng.exponential(self.think_time)
-            self.env.call_in(delay, self._issue_on, client)
+            # Exponential think time keeps clients desynchronized.  The
+            # timer is never cancelled, so the handle-free post_in suffices.
+            delay = self._draws.exponential(self.think_time)
+            self.env.post_in(delay, self._issue_on, (client,))
         else:
             self._issue_on(client)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, List, Optional, Set, Tuple
 
+from repro.lint.findings import Finding
 from repro.lint.rules import Checker, register_rule
 
 # ---------------------------------------------------------------------------
@@ -571,3 +572,76 @@ class Api001DunderAll(Checker):
                 ):
                     names.append((element.value, element))
         return names
+
+
+# ---------------------------------------------------------------------------
+# PERF001 -- scalar RNG draws on the simulator's hot paths
+# ---------------------------------------------------------------------------
+
+#: Generator methods with a batched equivalent in repro.sim.rng.
+_SCALAR_DRAW_METHODS = frozenset({"random", "exponential", "integers"})
+
+#: Receiver names that conventionally hold a numpy Generator.  Matching by
+#: name keeps the rule purely syntactic; `_draws` (the DrawSource slot fed
+#: by BatchedStream) is deliberately absent.
+_RNG_RECEIVER_NAMES = frozenset(
+    {"rng", "_rng", "gen", "generator", "random_state"}
+)
+
+#: POSIX path fragments of the per-request hot modules the rule covers.
+#: Everywhere else (experiments setup, analysis, selection bootstrap) draws
+#: run O(1) per experiment and batching would be noise.
+_HOT_PATH_FRAGMENTS = ("repro/kvstore/", "repro/network/")
+
+
+@register_rule(
+    rule_id="PERF001",
+    title="hot-path scalar RNG draws should go through BatchedStream",
+    rationale=(
+        "In repro.kvstore and repro.network a Generator draw runs once per "
+        "request (arrivals, service times, think times, jitter), where "
+        "numpy's per-call dispatch dominates the draw itself.  "
+        "repro.sim.rng.BatchedStream pre-draws 1024-value blocks and serves "
+        "scalars from them with the bit-identical value sequence, so hot "
+        "paths should take a BatchedStream (conventionally a `_draws` "
+        "attribute) instead of calling `rng.exponential()` and friends one "
+        "value at a time.  Genuinely mixed-family streams (e.g. the "
+        "open-loop arrival process) must stay scalar and say so with "
+        "`# repro: noqa(PERF001)`; vectorized draws (`size=...`) are "
+        "already batched and never flagged."
+    ),
+    example_bad="delay = self._rng.exponential(scale)  # one draw per request",
+    example_fix=(
+        "self._draws = registry.batched('server.service', block_size=1024)\n"
+        "delay = self._draws.exponential(scale)"
+    ),
+)
+class Perf001ScalarHotDraw(Checker):
+    def run(self) -> List[Finding]:
+        path = self.module.posix_path()
+        if not any(fragment in path for fragment in _HOT_PATH_FRAGMENTS):
+            return self.findings  # cold module: rule does not apply
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SCALAR_DRAW_METHODS
+        ):
+            receiver = func.value
+            name: Optional[str] = None
+            if isinstance(receiver, ast.Name):
+                name = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                name = receiver.attr
+            if name in _RNG_RECEIVER_NAMES and not any(
+                kw.arg == "size" for kw in node.keywords
+            ):
+                self.report(
+                    node,
+                    f"scalar `{name}.{func.attr}()` on a per-request hot "
+                    "path; serve it from a repro.sim.rng.BatchedStream "
+                    "(or draw a vector with size=...)",
+                )
+        self.generic_visit(node)

@@ -75,7 +75,7 @@ class BackgroundTraffic:
 
     def start(self) -> None:
         """Schedule the first packet."""
-        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)
+        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)  # repro: noqa(PERF001) - mixed-family stream (choice + exponential)
 
     def stop(self) -> None:
         """Stop generating after the current packet."""
@@ -102,4 +102,4 @@ class BackgroundTraffic:
         )
         self.sent += 1
         src.send(packet)
-        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)
+        self.env.call_in(self._rng.exponential(1.0 / self.rate), self._arrival)  # repro: noqa(PERF001) - mixed-family stream (choice + exponential)

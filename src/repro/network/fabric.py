@@ -17,13 +17,26 @@ congestion studies beyond the paper's scope.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Protocol, Tuple
 
 from repro.errors import TopologyError
-from repro.network.packet import Packet
+from repro.network.packet import (
+    _SIZE_MF,
+    _SIZE_RGID,
+    _SIZE_RID,
+    _SIZE_RV,
+    _SIZE_SM,
+    _SIZE_SSL,
+    _SIZE_UDP_HEADERS,
+    MAGIC_PLAIN,
+    Packet,
+)
 from repro.network.routing import DEFAULT_PATH_CACHE_SIZE, Router
 from repro.network.topology import NodeKind, Topology
 from repro.sim.core import Environment
+
+_SIZE_FIXED_NETRS = _SIZE_RID + _SIZE_MF + _SIZE_RV
 
 
 class Device(Protocol):
@@ -43,6 +56,28 @@ class Network:
         switch_link_latency: One-way latency between two switches (seconds).
         host_link_latency: One-way latency of a host's access link (seconds).
     """
+
+    __slots__ = (
+        "env",
+        "topology",
+        "router",
+        "switch_link_latency",
+        "host_link_latency",
+        "link_bandwidth",
+        "_devices",
+        "_latency_cache",
+        "_link_busy_until",
+        "transmissions",
+        "bytes_transferred",
+        "netrs_overhead_bytes",
+        "serialization_delay_total",
+        "max_link_backlog",
+        "track_links",
+        "link_bytes",
+        "link_packets",
+        "_receivers",
+        "_fast_delay",
+    )
 
     def __init__(
         self,
@@ -66,6 +101,22 @@ class Network:
         self.host_link_latency = host_link_latency
         self.link_bandwidth = link_bandwidth
         self._devices: Dict[str, Device] = {}
+        # Pre-bound receive methods, filled at attach time: the hot path
+        # then skips both the .receive attribute load and the bound-method
+        # allocation on every hop.
+        self._receivers: Dict[str, Callable[[Packet, str], None]] = {}
+        # With equal link latencies, no bandwidth model and no per-link
+        # accounting (the paper-default configuration), every hop schedules
+        # delivery after the same constant delay.
+        self._fast_delay: Optional[float] = (
+            switch_link_latency
+            if (
+                switch_link_latency == host_link_latency
+                and link_bandwidth is None
+                and not track_links
+            )
+            else None
+        )
         # Per-directed-link propagation latency, filled lazily; saves two
         # topology lookups per hop.
         self._latency_cache: Dict[Tuple[str, str], float] = {}
@@ -92,6 +143,7 @@ class Network:
         if name in self._devices:
             raise TopologyError(f"device already attached at {name}")
         self._devices[name] = device
+        self._receivers[name] = device.receive
 
     def device(self, name: str) -> Device:
         """The device attached at ``name``."""
@@ -119,32 +171,62 @@ class Network:
         link to finish earlier transmissions, then occupies it for its
         serialization time; propagation latency is added on top.
         """
-        device = self._devices.get(to_name)
-        if device is None:
+        receive = self._receivers.get(to_name)
+        if receive is None:
             raise TopologyError(f"no device attached at {to_name}")
-        size = packet.wire_size()
+        # Inlined Packet.wire_accounting (the reference implementation):
+        # sizing runs once per hop, where even the call overhead shows up.
+        # test_fabric cross-checks these totals against wire_size().
+        common = 0
+        if packet.rgid >= 0:
+            common += _SIZE_RGID
+        if packet.source_marker is not None:
+            common += _SIZE_SM
+        if packet.magic != MAGIC_PLAIN:
+            overhead = _SIZE_FIXED_NETRS + common
+            size = _SIZE_UDP_HEADERS + overhead
+        else:
+            overhead = 0
+            size = _SIZE_UDP_HEADERS + common
+        status = packet.server_status
+        if status is not None:
+            size += _SIZE_SSL + status.wire_size()
+        value_size = packet.value_size
+        size += 16 if value_size == 0 else value_size  # app payload
         self.transmissions += 1
         self.bytes_transferred += size
-        self.netrs_overhead_bytes += packet.netrs_header_bytes()
-        link = (from_name, to_name)
-        if self.track_links:
-            self.link_bytes[link] = self.link_bytes.get(link, 0) + size
-            self.link_packets[link] = self.link_packets.get(link, 0) + 1
-        delay = self._latency_cache.get(link)
+        self.netrs_overhead_bytes += overhead
+        delay = self._fast_delay
         if delay is None:
-            delay = self.link_latency(from_name, to_name)
-            self._latency_cache[link] = delay
-        if self.link_bandwidth is not None:
-            now = self.env.now
-            transmission_time = size * 8.0 / self.link_bandwidth
-            free_at = max(now, self._link_busy_until.get(link, 0.0))
-            backlog = free_at - now
-            self._link_busy_until[link] = free_at + transmission_time
-            self.serialization_delay_total += backlog + transmission_time
-            if backlog > self.max_link_backlog:
-                self.max_link_backlog = backlog
-            delay += backlog + transmission_time
-        self.env.post_in(delay, device.receive, (packet, from_name))
+            link = (from_name, to_name)
+            if self.track_links:
+                self.link_bytes[link] = self.link_bytes.get(link, 0) + size
+                self.link_packets[link] = self.link_packets.get(link, 0) + 1
+            delay = self._latency_cache.get(link)
+            if delay is None:
+                delay = self.link_latency(from_name, to_name)
+                self._latency_cache[link] = delay
+            if self.link_bandwidth is not None:
+                now = self.env.now
+                transmission_time = size * 8.0 / self.link_bandwidth
+                free_at = max(now, self._link_busy_until.get(link, 0.0))
+                backlog = free_at - now
+                self._link_busy_until[link] = free_at + transmission_time
+                self.serialization_delay_total += backlog + transmission_time
+                if backlog > self.max_link_backlog:
+                    self.max_link_backlog = backlog
+                delay += backlog + transmission_time
+        # Inlined Environment.post_in (the reference implementation): one
+        # event per hop makes even the scheduler's call overhead measurable.
+        env = self.env
+        env._seq += 1
+        when = env._now + delay
+        dq = env._dq
+        entry = (when, env._seq, 2, receive, (packet, from_name))
+        if not dq or when >= dq[-1][0]:
+            dq.append(entry)
+        else:
+            heappush(env._heap, entry)
 
     def deliver_local(
         self, delay: float, fn: Callable[..., Any], *args: Any

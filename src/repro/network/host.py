@@ -25,6 +25,16 @@ class Endpoint(Protocol):
 class Host:
     """One end-host: a NIC attached to its ToR plus an application endpoint."""
 
+    __slots__ = (
+        "name",
+        "network",
+        "tor_name",
+        "endpoint",
+        "packets_sent",
+        "packets_received",
+        "_transmit",
+    )
+
     def __init__(self, name: str, network: Network) -> None:
         self.name = name
         self.network = network
@@ -32,6 +42,8 @@ class Host:
         self.endpoint: Optional[Endpoint] = None
         self.packets_sent = 0
         self.packets_received = 0
+        # Pre-bound fabric entry point for the per-packet injection path.
+        self._transmit = network.transmit
         network.attach(name, self)
 
     def bind(self, endpoint: Endpoint) -> None:
@@ -59,7 +71,7 @@ class Host:
             )
             packet.route_pos = 0
         self.packets_sent += 1
-        self.network.transmit(self.name, self.tor_name, packet)
+        self._transmit(self.name, self.tor_name, packet)
 
     def receive(self, packet: Packet, from_name: str) -> None:
         """Fabric callback: hand the packet to the endpoint."""

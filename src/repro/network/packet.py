@@ -157,6 +157,29 @@ class Packet:
         size += 16 if self.value_size == 0 else self.value_size  # app payload
         return size
 
+    def wire_accounting(self) -> "tuple[int, int]":
+        """``(wire_size(), netrs_header_bytes())`` in one pass.
+
+        The fabric charges both on every hop; evaluating the shared segment
+        branches once halves the accounting cost on the hot path.
+        """
+        common = 0
+        if self.rgid >= 0:
+            common += _SIZE_RGID
+        if self.source_marker is not None:
+            common += _SIZE_SM
+        if self.magic != MAGIC_PLAIN:
+            fixed = _SIZE_RID + _SIZE_MF + _SIZE_RV
+            overhead = fixed + common
+        else:
+            fixed = 0
+            overhead = 0
+        size = _SIZE_UDP_HEADERS + fixed + common
+        if self.server_status is not None:
+            size += _SIZE_SSL + self.server_status.wire_size()
+        size += 16 if self.value_size == 0 else self.value_size  # app payload
+        return size, overhead
+
     def netrs_header_bytes(self) -> int:
         """Bytes attributable to the NetRS protocol itself.
 

@@ -87,6 +87,63 @@ class Router:
         # ``topology.node``'s error handling per hop.
         self._nodes: Dict[str, Node] = topo.nodes
         self._host_names = frozenset(self._tor_of_host)
+        self._ecmp_key_mask = self._compute_ecmp_key_mask()
+
+    def _compute_ecmp_key_mask(self) -> int | None:
+        """Mask of flow-key bits that can influence any ECMP choice.
+
+        ``_pick`` at depth ``d`` computes ``(flow_key >> 5d) % n``.  When
+        every candidate-list length ``n`` a given depth can ever see is a
+        power of two (<= 32), that modulo only reads ``log2(n)`` bits of the
+        shifted key, so two flow keys agreeing on the masked bits take
+        identical paths for every ``(src, dst)``.  The path cache then keys
+        on the *masked* key, collapsing the per-request flow keys (which
+        otherwise never repeat) onto a few equivalence classes per pair.
+        Lengths are tracked per depth: in a fat-tree every core reaches a
+        pod through exactly one aggregation switch, so the depth-2 descent
+        choice is a singleton and contributes no bits at all.  Returns
+        ``None`` (full-key caching) when any length is not a power of two.
+        """
+        # Candidate-list lengths per _pick depth, matching the call sites in
+        # _from_tor/_from_agg/_from_core.
+        depth0 = set()  # climb: local aggs, or aggs wired to a target core
+        depth1 = set()  # core choice off the chosen agg
+        depth2 = set()  # descent agg into the destination pod
+        for options in self._aggs_by_pod.values():
+            depth0.add(len(options))
+        for options in self._aggs_of_core_pod.values():
+            depth0.add(len(options))  # climbers toward a core target
+            depth2.add(len(options))  # descent into a pod
+        for options in self._cores_of_agg.values():
+            depth1.add(len(options))
+        # The cross-pod aggregation-target branch of _from_tor builds two
+        # derived candidate lists (both indexed at depth 1); enumerate their
+        # possible lengths too.
+        aggs = list(self._cores_of_agg)
+        for target in aggs:
+            target_cores = set(self._cores_of_agg[target])
+            target_pod = self._nodes[target].pod
+            for pod, pod_aggs in self._aggs_by_pod.items():
+                if pod == target_pod:
+                    continue
+                shared_counts = [
+                    len(target_cores.intersection(self._cores_of_agg[agg]))
+                    for agg in pod_aggs
+                ]
+                depth1.update(n for n in shared_counts if n)
+                climbers = sum(1 for n in shared_counts if n)
+                if climbers:
+                    depth1.add(climbers)
+        mask = 0
+        for shift, lengths in ((0, depth0), (5, depth1), (10, depth2)):
+            lengths.discard(0)
+            if not lengths:
+                continue
+            if any(n & (n - 1) or n > 32 for n in lengths):
+                return None
+            bits = (1 << (max(lengths).bit_length() - 1)) - 1
+            mask |= bits << shift
+        return mask
 
     # ------------------------------------------------------------------
     # Public API
@@ -108,13 +165,27 @@ class Router:
         """
         if self.path_cache_size == 0:
             return self._compute_path(src, dst, flow_key)
-        key = (src, dst, flow_key)
+        mask = self._ecmp_key_mask
+        if mask is not None:
+            key = (src, dst, flow_key & mask)
+        else:
+            key = (src, dst, flow_key)
         cache = self._path_cache
         hit = cache.pop(key, None)
         if hit is not None:
             cache[key] = hit  # re-insert: keeps dict order = recency order
             return hit
-        path = self._compute_path(src, dst, flow_key)
+        if dst in self._host_names and src not in self._host_names:
+            # Every switch-to-host path is the path to the host's ToR plus
+            # the host itself (same flow key, same ECMP depths -- each
+            # host branch of _from_tor/_from_agg/_from_core appends
+            # ``[dst]`` to the corresponding ToR path).  Recursing through
+            # the cache shares one ToR-to-ToR trunk entry across all hosts
+            # on the destination rack, which matters because within a run
+            # most (src, dst) host pairs are seen only a handful of times.
+            path = self.path(src, self._tor_of_host[dst], flow_key) + [dst]
+        else:
+            path = self._compute_path(src, dst, flow_key)
         if len(cache) >= self.path_cache_size:
             del cache[next(iter(cache))]  # least recently used
         cache[key] = path
@@ -123,13 +194,18 @@ class Router:
     def _compute_path(self, src: str, dst: str, flow_key: int) -> List[str]:
         if src == dst:
             return []
-        src_node = self.topology.node(src)
-        dst_node = self.topology.node(dst)
+        nodes = self._nodes
+        src_node = nodes.get(src)
+        dst_node = nodes.get(dst)
+        if src_node is None or dst_node is None:
+            # Cold path: reproduce topology.node's error reporting.
+            src_node = self.topology.node(src)
+            dst_node = self.topology.node(dst)
         if src_node.kind is NodeKind.HOST:
             tor = self.tor_of(src)
             if tor == dst:
                 return [tor]
-            return [tor] + self._from_tor(self.topology.node(tor), dst_node, flow_key)
+            return [tor] + self._from_tor(nodes[tor], dst_node, flow_key)
         if src_node.kind is NodeKind.TOR:
             return self._from_tor(src_node, dst_node, flow_key)
         if src_node.kind is NodeKind.AGG:

@@ -65,6 +65,28 @@ class Monitor(Protocol):
 class ProgrammableSwitch:
     """One switch of the data center, optionally acting as a NetRS operator."""
 
+    __slots__ = (
+        "name",
+        "network",
+        "kind",
+        "tier",
+        "is_tor",
+        "operator_id",
+        "accelerator",
+        "selector",
+        "monitor",
+        "failed",
+        "_attached_hosts",
+        "marker",
+        "_group_of_host",
+        "_rsnode_for_group",
+        "_operator_directory",
+        "packets_forwarded",
+        "requests_selected",
+        "responses_cloned",
+        "_transmit",
+    )
+
     def __init__(
         self,
         name: str,
@@ -100,6 +122,8 @@ class ProgrammableSwitch:
         self.packets_forwarded = 0
         self.requests_selected = 0
         self.responses_cloned = 0
+        # Pre-bound fabric entry point for the per-hop forwarding path.
+        self._transmit = network.transmit
         network.attach(name, self)
 
     # ------------------------------------------------------------------
@@ -188,7 +212,17 @@ class ProgrammableSwitch:
                 return
             self._forward_toward_operator(packet)
             return
-        self._regular_forward(packet)
+        # Inlined _regular_forward: plain and monitor traffic takes this
+        # branch on every hop of every path.
+        dst = packet.dst
+        if dst is None:
+            raise RoutingError(
+                f"{self.name}: cannot forward a packet without a destination"
+            )
+        if dst in self._attached_hosts:
+            self._egress_to_host(packet)
+            return
+        self._follow_route(packet, dst)
 
     def _can_select(self) -> bool:
         return (
@@ -262,7 +296,7 @@ class ProgrammableSwitch:
         ):
             self.monitor.observe(packet)
         self.packets_forwarded += 1
-        self.network.transmit(self.name, packet.dst, packet)  # type: ignore[arg-type]
+        self._transmit(self.name, packet.dst, packet)  # type: ignore[arg-type]
 
     def _follow_route(self, packet: Packet, target: str) -> None:
         """Advance the packet one hop along the attached path to ``target``.
@@ -278,13 +312,15 @@ class ProgrammableSwitch:
                 self.name, target, packet.flow_key()
             )
             packet.route_pos = 0
-        route = packet.route
         pos = packet.route_pos
-        if pos >= len(route):
+        try:
+            next_hop = packet.route[pos]
+        except IndexError:
             raise RoutingError(
-                f"{self.name}: exhausted route toward {target} (route={route})"
-            )
+                f"{self.name}: exhausted route toward {target} "
+                f"(route={packet.route})"
+            ) from None
         packet.route_pos = pos + 1
         packet.hops += 1
         self.packets_forwarded += 1
-        self.network.transmit(self.name, route[pos], packet)
+        self._transmit(self.name, next_hop, packet)

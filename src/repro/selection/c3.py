@@ -94,7 +94,11 @@ class C3Selector(ReplicaSelector):
 
     def score(self, server: str) -> float:
         """The cubic scoring function psi for one server (lower is better)."""
-        track = self._track(server)
+        # Inlined _track fast path: score runs once per candidate per
+        # selection, and the track almost always exists already.
+        track = self._tracks.get(server)
+        if track is None:
+            track = self._track(server)
         rate = track.service_rate if track.service_rate > 0 else self.prior_service_rate
         expected_service = 1.0 / rate
         q_hat = 1.0 + track.outstanding * self.concurrency_weight + track.queue_size
@@ -106,15 +110,31 @@ class C3Selector(ReplicaSelector):
 
     def select(self, candidates: Sequence[str], now: float) -> str:
         """Pick the candidate with the lowest cubic score."""
-        self._check_candidates(candidates)
+        if not candidates:
+            raise ConfigurationError("select() needs at least one candidate")
         self.selections += 1
-        pool = list(candidates)
+        pool: Sequence[str] = candidates
         if self._rate_limiter_factory is not None:
             ready = [s for s in pool if self._limiter(s).may_send(now)]
             if ready:
                 pool = ready
-        best_score = min(self.score(server) for server in pool)
-        winners = [server for server in pool if self.score(server) == best_score]
+        # Single pass: track the first minimum and collect ties lazily
+        # (scoring every candidate runs once per request).
+        best = pool[0]
+        best_score = self.score(best)
+        winners = None
+        for server in pool[1:]:
+            score = self.score(server)
+            if score < best_score:
+                best = server
+                best_score = score
+                winners = None
+            elif score == best_score:
+                if winners is None:
+                    winners = [best]
+                winners.append(server)
+        if winners is None:
+            return best
         return self._tie_break(winners)
 
     # ------------------------------------------------------------------

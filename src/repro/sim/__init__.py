@@ -28,9 +28,10 @@ from repro.sim.core import (
 from repro.sim.process import Process
 from repro.sim.probes import Counter, LatencyRecorder, TimeSeries, WelfordStats
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import BatchedStream, RngRegistry
 
 __all__ = [
+    "BatchedStream",
     "Counter",
     "Environment",
     "Event",

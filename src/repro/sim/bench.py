@@ -1,4 +1,4 @@
-"""Hot-path benchmark harness: engine, fabric, routing, fig4 slice.
+"""Hot-path benchmark harness: engine, fabric, routing, rng, metrics, fig4.
 
 Measures the simulator's own throughput on the same workloads as
 ``benchmarks/test_bench_engine.py`` and writes a machine-readable JSON
@@ -12,26 +12,49 @@ PRs can track regressions without the pytest-benchmark machinery:
   (hops/s),
 * ``routing``           -- ECMP path computations on a paper-scale
   16-ary fat-tree (paths/s),
+* ``rng_draws``         -- scalar draws through a BatchedStream, the
+  service-time/jitter hot path (draws/s),
+* ``metrics_aggregation`` -- LatencyRecorder summaries plus cross-trial
+  aggregation, the end-of-run path (samples/s),
 * ``fig4_slice``        -- wall time of one small Figure-4 cell end to end.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.sim.bench --out BENCH_2.json
+    PYTHONPATH=src python -m repro.sim.bench --out BENCH_4.json
+    PYTHONPATH=src python -m repro.sim.bench rng_draws routing
+    PYTHONPATH=src python -m repro.sim.bench --profile fig4.pstats fig4_slice
+    PYTHONPATH=src python -m repro.sim.bench --compare BENCH_4.json
 
 Each microbenchmark reports the best of ``--repeats`` runs (minimum wall
 time is the standard low-noise estimator for this kind of measurement).
+Reports are stamped with a ``schema_version``, the git commit, and the
+numpy/python versions so archived JSONs stay comparable across PRs.
+
+``--compare`` re-runs the suite and checks measured rates against an
+archived report, warning (never failing) when a benchmark falls below the
+tolerance band -- CI uses this as a canary, not a gate, because shared
+runners are far too noisy for hard thresholds.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import platform
+import pstats
+import subprocess
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.sim.core import Environment
+from repro.sim.rng import batched_from_seed, stream_from_seed
+
+#: Bump when the report layout changes shape (not when numbers move).
+SCHEMA_VERSION = 1
 
 
 def _best_of(fn: Callable[[], int], repeats: int) -> Dict[str, float]:
@@ -120,6 +143,49 @@ def bench_routing(n: int = 2_000) -> int:
     return n
 
 
+def bench_rng_draws(n: int = 200_000) -> int:
+    """Scalar draws served from a BatchedStream's prefetched blocks.
+
+    This is the shape of the simulator's hottest stochastic path: servers
+    and fluctuation timers pull one exponential at a time, and the batched
+    layer amortizes numpy's per-call dispatch across 1024-draw blocks.
+    """
+    draws = batched_from_seed(1, "bench.rng", block_size=1024)
+    total = 0.0
+    for _ in range(n):
+        total += draws.exponential(1e-4)
+    assert total > 0
+    return n
+
+
+def bench_metrics_aggregation(n: int = 200_000, trials: int = 20) -> int:
+    """End-of-run metrics: one big latency summary plus cross-trial means.
+
+    Mirrors what ``run_experiment`` does after the event loop drains: the
+    vectorized ``LatencyRecorder.summary`` over the full sample vector,
+    then ``mean_of_summaries`` across per-trial summaries.
+    """
+    from repro.experiments.metrics import mean_of_summaries
+    from repro.sim.probes import LatencyRecorder
+
+    rng = stream_from_seed(2, "bench.metrics")
+    samples = rng.exponential(1e-3, size=n)
+    recorder = LatencyRecorder()
+    recorder.extend(samples.tolist())
+    summary = recorder.summary()
+    assert summary["mean"] > 0
+    per_trial = []
+    step = max(1, n // trials)
+    for i in range(trials):
+        trial = LatencyRecorder()
+        trial.extend(samples[i * step : (i + 1) * step].tolist())
+        if len(trial):
+            per_trial.append(trial.summary())
+    merged = mean_of_summaries(per_trial)
+    assert merged["mean"] > 0
+    return n
+
+
 def bench_fig4_slice(requests: int = 2_000) -> int:
     """One small Figure-4 cell (clirs-r95, 32 clients) end to end; returns
     the number of completed requests."""
@@ -133,37 +199,204 @@ def bench_fig4_slice(requests: int = 2_000) -> int:
     return result.completed_requests
 
 
-def run_benchmarks(repeats: int = 5, fig4_repeats: int = 1) -> Dict[str, object]:
-    """Run the full suite and return the report payload."""
+#: Registry of benchmark name -> callable, in report order.  The CLI's
+#: positional arguments select from these names and reject anything else.
+BENCHMARKS: Dict[str, Callable[[], int]] = {
+    "event_scheduling": bench_event_scheduling,
+    "timer_cancellation": bench_timer_cancellation,
+    "packet_forwarding": bench_packet_forwarding,
+    "routing": bench_routing,
+    "rng_draws": bench_rng_draws,
+    "metrics_aggregation": bench_metrics_aggregation,
+    "fig4_slice": bench_fig4_slice,
+}
+
+
+def _git_commit() -> str:
+    """Current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def run_benchmarks(
+    repeats: int = 5,
+    fig4_repeats: int = 1,
+    only: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Run the suite (or the ``only`` subset) and return the report payload."""
     report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "git_commit": _git_commit(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "platform": platform.platform(),
         "repeats": repeats,
         "benchmarks": {},
     }
     benches = report["benchmarks"]
-    benches["event_scheduling"] = _best_of(bench_event_scheduling, repeats)
-    benches["timer_cancellation"] = _best_of(bench_timer_cancellation, repeats)
-    benches["packet_forwarding"] = _best_of(bench_packet_forwarding, repeats)
-    benches["routing"] = _best_of(bench_routing, repeats)
-    benches["fig4_slice"] = _best_of(bench_fig4_slice, fig4_repeats)
+    for name, fn in BENCHMARKS.items():
+        if only is not None and name not in only:
+            continue
+        n_repeats = fig4_repeats if name == "fig4_slice" else repeats
+        benches[name] = _best_of(fn, n_repeats)
     return report
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float = 0.5,
+) -> Dict[str, object]:
+    """Warn-only regression check of ``current`` rates against ``baseline``.
+
+    A benchmark *regresses* when its measured ``rate_per_s`` drops below
+    ``(1 - tolerance)`` of the archived rate.  The default tolerance is
+    deliberately generous (50 %): archived numbers come from a different
+    machine, and shared CI runners jitter by tens of percent.
+    """
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    comparison: Dict[str, object] = {
+        "baseline_commit": baseline.get("git_commit", "unknown"),
+        "current_commit": current.get("git_commit", "unknown"),
+        "tolerance": tolerance,
+        "benchmarks": {},
+        "regressions": [],
+    }
+    for name, cur in sorted(cur_benches.items()):
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        base_rate = base["rate_per_s"]
+        cur_rate = cur["rate_per_s"]
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        regressed = ratio < (1.0 - tolerance)
+        comparison["benchmarks"][name] = {
+            "baseline_rate_per_s": base_rate,
+            "current_rate_per_s": cur_rate,
+            "ratio": ratio,
+            "regressed": regressed,
+        }
+        if regressed:
+            comparison["regressions"].append(name)
+    return comparison
+
+
+def _print_profile(profile: cProfile.Profile, out_path: Optional[str]) -> None:
+    """Dump pstats data (if requested) and print the top-25 cumulative table."""
+    stats = pstats.Stats(profile, stream=sys.stderr)
+    if out_path:
+        stats.dump_stats(out_path)
+        sys.stderr.write(f"profile data written to {out_path}\n")
+    stats.sort_stats("cumulative").print_stats(25)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="BENCHMARK",
+        help=(
+            "benchmarks to run (default: all); one of: "
+            + ", ".join(BENCHMARKS)
+        ),
+    )
     parser.add_argument("--out", default=None, help="write JSON report here")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
         "--fig4-repeats", type=int, default=1, help="repeats of the fig4 slice"
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PSTATS_FILE",
+        help=(
+            "profile the run under cProfile; prints the top-25 functions by "
+            "cumulative time and, given a path, dumps raw pstats data there"
+        ),
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help=(
+            "warn-only regression check: compare measured rates against an "
+            "archived report (never affects the exit status)"
+        ),
+    )
+    parser.add_argument(
+        "--compare-out",
+        default=None,
+        metavar="COMPARISON_JSON",
+        help="write the --compare result here (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional rate drop before --compare warns (default 0.5)",
+    )
     args = parser.parse_args(argv)
-    report = run_benchmarks(repeats=args.repeats, fig4_repeats=args.fig4_repeats)
+
+    unknown = [name for name in args.names if name not in BENCHMARKS]
+    if unknown:
+        parser.error(
+            f"unknown benchmark(s): {', '.join(unknown)} "
+            f"(choose from: {', '.join(BENCHMARKS)})"
+        )
+    only = args.names or None
+
+    profile: Optional[cProfile.Profile] = None
+    if args.profile is not None:
+        profile = cProfile.Profile()
+        profile.enable()
+    try:
+        report = run_benchmarks(
+            repeats=args.repeats, fig4_repeats=args.fig4_repeats, only=only
+        )
+    finally:
+        if profile is not None:
+            profile.disable()
+            _print_profile(profile, args.profile or None)
+
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="ascii") as fh:
             fh.write(payload)
     sys.stdout.write(payload)
+
+    if args.compare:
+        with open(args.compare, "r", encoding="ascii") as fh:
+            baseline = json.load(fh)
+        comparison = compare_reports(baseline, report, tolerance=args.tolerance)
+        comparison_payload = json.dumps(comparison, indent=2, sort_keys=True) + "\n"
+        if args.compare_out:
+            with open(args.compare_out, "w", encoding="ascii") as fh:
+                fh.write(comparison_payload)
+        sys.stderr.write(comparison_payload)
+        for name in comparison["regressions"]:
+            entry = comparison["benchmarks"][name]
+            sys.stderr.write(
+                f"WARNING: {name} regressed: "
+                f"{entry['current_rate_per_s']:.0f}/s vs baseline "
+                f"{entry['baseline_rate_per_s']:.0f}/s "
+                f"(ratio {entry['ratio']:.2f} < {1.0 - args.tolerance:.2f})\n"
+            )
+        if not comparison["regressions"]:
+            sys.stderr.write("bench comparison: no regressions beyond tolerance\n")
     return 0
 
 

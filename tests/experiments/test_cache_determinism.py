@@ -19,8 +19,9 @@ from repro.experiments.scenarios import build_scenario
 from repro.experiments.sweep import run_sweep
 from repro.kvstore import client as client_module
 
-#: The cache-bypass overrides: everything computed from scratch, no compaction.
-BYPASS = dict(route_cache_size=0, engine_compaction=False)
+#: The cache-bypass overrides: everything computed from scratch, no
+#: compaction, no pre-drawn RNG blocks.
+BYPASS = dict(route_cache_size=0, engine_compaction=False, rng_batch_size=0)
 
 
 def _run_with_trace(config):

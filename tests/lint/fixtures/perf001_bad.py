@@ -1,0 +1,20 @@
+"""Violating fixture for PERF001: per-request scalar draws in a hot module.
+
+The lint tests present this file under a synthetic ``src/repro/kvstore/``
+path so the hot-module gate applies (see ``_lint_fixture``).
+"""
+
+
+class Server:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def service_time(self):
+        # One numpy dispatch per request: exactly what BatchedStream avoids.
+        return self._rng.exponential(1e-4)
+
+    def jitter(self):
+        return self._rng.random()
+
+    def pick_backup(self, n_replicas):
+        return self._rng.integers(0, n_replicas)

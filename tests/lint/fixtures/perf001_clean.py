@@ -1,0 +1,23 @@
+"""Clean fixture for PERF001: batched draws and the vectorized escape.
+
+The lint tests present this file under a synthetic ``src/repro/kvstore/``
+path so the hot-module gate applies (see ``_lint_fixture``).
+"""
+
+
+class Server:
+    def __init__(self, draws, rng):
+        self._draws = draws  # repro.sim.rng.BatchedStream (DrawSource)
+        self._rng = rng
+
+    def service_time(self):
+        # BatchedStream serves scalars from prefetched blocks: not flagged.
+        return self._draws.exponential(1e-4)
+
+    def batch_of_delays(self, n):
+        # Vectorized draw: already amortized, the size= keyword exempts it.
+        return self._rng.exponential(1e-4, size=n)
+
+    def arrival_gap(self, scale):
+        # Mixed-family streams legitimately stay scalar with justification.
+        return self._rng.exponential(scale)  # repro: noqa(PERF001) - mixed-family stream

@@ -20,12 +20,22 @@ EXPECTED = {
     "SIM001": ("sim001", 2),
     "SIM002": ("sim002", 1),
     "API001": ("api001", 2),
+    "PERF001": ("perf001", 3),
+}
+
+#: Fixture stems whose rule only applies on certain module paths; the
+#: fixture is linted under a synthetic path satisfying the gate.
+SYNTHETIC_PATHS = {
+    "perf001": "src/repro/kvstore",
 }
 
 
 def _lint_fixture(name):
     path = FIXTURES / name
-    return lint_source(path.read_text(encoding="utf-8"), path=str(path))
+    stem = name.split("_", 1)[0]
+    display = SYNTHETIC_PATHS.get(stem)
+    display_path = f"{display}/{name}" if display else str(path)
+    return lint_source(path.read_text(encoding="utf-8"), path=display_path)
 
 
 def test_every_registered_rule_has_a_fixture_pair():
@@ -89,3 +99,22 @@ def test_det002_exempts_bench_and_progress():
     assert lint_source(source, path="src/repro/sim/bench.py") == []
     assert lint_source(source, path="src/repro/exec/progress.py") == []
     assert len(lint_source(source, path="src/repro/network/host.py")) == 1
+
+
+def test_perf001_only_applies_to_hot_modules():
+    source = (FIXTURES / "perf001_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, path="src/repro/experiments/setup.py") == []
+    assert lint_source(source, path="src/repro/analysis/loads.py") == []
+    hot = lint_source(source, path="src/repro/network/server.py")
+    assert {f.rule for f in hot} == {"PERF001"}
+
+
+def test_perf001_ignores_draws_attribute_and_vector_draws():
+    source = (
+        "class S:\n"
+        "    def f(self):\n"
+        "        a = self._draws.exponential(1.0)\n"
+        "        b = self.rng.exponential(1.0, size=64)\n"
+        "        return a, b\n"
+    )
+    assert lint_source(source, path="src/repro/kvstore/server.py") == []

@@ -1,0 +1,172 @@
+"""BatchedStream equivalence: pre-drawn blocks must replay the scalar
+bitstream exactly (ISSUE 4 acceptance criterion).
+
+numpy Generators produce the identical value sequence for ``dist(size=n)``
+as for ``n`` scalar calls, which is the whole contract that lets the
+simulator turn batching on and off without changing a single result.  These
+tests pin that contract for every supported distribution, across block
+boundaries, through the bypass mode, and through ``spawn``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import (
+    BatchedStream,
+    RngRegistry,
+    batched_from_seed,
+    stream_from_seed,
+)
+
+
+def _pair(seed=123, name="test.stream", block_size=1024):
+    """A batched stream and an independent scalar twin of the same stream."""
+    return (
+        batched_from_seed(seed, name, block_size=block_size),
+        stream_from_seed(seed, name),
+    )
+
+
+N_LONG = 5000  # crosses several 1024-blocks and many small blocks
+
+
+class TestScalarEquivalence:
+    def test_random(self):
+        batched, scalar = _pair()
+        assert [batched.random() for _ in range(N_LONG)] == [
+            float(scalar.random()) for _ in range(N_LONG)
+        ]
+
+    def test_uniform(self):
+        batched, scalar = _pair()
+        got = [batched.uniform(2.0, 5.0) for _ in range(N_LONG)]
+        want = [2.0 + 3.0 * float(scalar.random()) for _ in range(N_LONG)]
+        assert got == want
+
+    def test_standard_exponential(self):
+        batched, scalar = _pair()
+        assert [batched.standard_exponential() for _ in range(N_LONG)] == [
+            float(scalar.standard_exponential()) for _ in range(N_LONG)
+        ]
+
+    def test_exponential_fixed_scale(self):
+        batched, scalar = _pair()
+        got = [batched.exponential(1e-4) for _ in range(N_LONG)]
+        want = [1e-4 * float(scalar.standard_exponential()) for _ in range(N_LONG)]
+        assert got == want
+
+    def test_exponential_varying_scale(self):
+        # Fluctuating service times vary the scale per draw; the scale is
+        # applied outside the block so values stay exact.
+        batched, scalar = _pair()
+        scales = [1e-4 * (1 + i % 7) for i in range(N_LONG)]
+        got = [batched.exponential(s) for s in scales]
+        want = [s * float(scalar.standard_exponential()) for s in scales]
+        assert got == want
+
+    def test_integers(self):
+        batched, scalar = _pair()
+        assert [batched.integers(0, 17) for _ in range(N_LONG)] == [
+            int(scalar.integers(0, 17)) for _ in range(N_LONG)
+        ]
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 7, 64, 1023])
+    def test_block_boundary_crossing(self, block_size):
+        """Tiny blocks force refills mid-sequence; values must not notice."""
+        batched, scalar = _pair(block_size=block_size)
+        n = 5 * block_size + 3
+        assert [batched.standard_exponential() for _ in range(n)] == [
+            float(scalar.standard_exponential()) for _ in range(n)
+        ]
+
+    def test_block_size_zero_bypasses(self):
+        batched, scalar = _pair(block_size=0)
+        got = [batched.random() for _ in range(100)]
+        want = [float(scalar.random()) for _ in range(100)]
+        assert got == want
+        # Bypass mode never pre-draws: the wrapped generator stays in
+        # lockstep with a scalar twin draw for draw.
+        assert float(batched._rng.random()) == float(scalar.random())
+
+
+class TestFamilyLock:
+    def test_mixed_families_raise(self):
+        batched, _ = _pair()
+        batched.random()
+        with pytest.raises(ConfigurationError):
+            batched.standard_exponential()
+
+    def test_integers_bound_change_raises(self):
+        batched, _ = _pair()
+        batched.integers(0, 8)
+        with pytest.raises(ConfigurationError):
+            batched.integers(0, 9)
+
+    def test_lock_applies_in_bypass_mode_too(self):
+        # Same API surface whichever mode the config picked, so a batch-size
+        # sweep cannot silently change which call patterns are legal.
+        batched, _ = _pair(block_size=0)
+        batched.exponential(1.0)
+        with pytest.raises(ConfigurationError):
+            batched.random()
+
+
+class TestSpawn:
+    def test_spawn_is_draw_position_independent(self):
+        """A batched parent pre-draws ahead of its scalar twin, but spawned
+        children derive from the SeedSequence spawn counter, not the draw
+        position -- so both parents spawn identical children."""
+        batched, scalar = _pair()
+        for _ in range(10):  # batched parent has pre-drawn a full block
+            batched.random()
+        child_b = batched.spawn()
+        child_s = scalar.spawn(1)[0]
+        assert [child_b.random() for _ in range(200)] == [
+            float(child_s.random()) for _ in range(200)
+        ]
+
+    def test_spawn_inherits_block_size(self):
+        batched, _ = _pair(block_size=13)
+        assert batched.spawn().block_size == 13
+
+
+class TestRegistryParity:
+    def test_batched_from_seed_matches_registry(self):
+        a = batched_from_seed(7, "parity.stream", block_size=256)
+        b = RngRegistry(7).batched("parity.stream", block_size=256)
+        assert [a.exponential(2.0) for _ in range(300)] == [
+            b.exponential(2.0) for _ in range(300)
+        ]
+
+    def test_registry_batched_is_cached(self):
+        registry = RngRegistry(5)
+        assert registry.batched("x") is registry.batched("x")
+
+    def test_registry_batched_block_size_conflict(self):
+        registry = RngRegistry(5)
+        registry.batched("x", block_size=64)
+        with pytest.raises(ConfigurationError):
+            registry.batched("x", block_size=128)
+
+    def test_values_are_python_floats(self):
+        # .tolist() conversion: downstream arithmetic and JSON dumps see
+        # the exact same Python floats as scalar numpy draws produce.
+        batched, _ = _pair()
+        value = batched.random()
+        assert type(value) is float
+
+    def test_integers_are_python_ints(self):
+        batched, _ = _pair()
+        value = batched.integers(0, 1000)
+        assert type(value) is int
+
+
+def test_same_stream_name_same_values_across_modes():
+    """End-to-end restatement of the contract: any block size (including
+    bypass) yields one identical value sequence."""
+    sequences = []
+    for block_size in (0, 1, 1024):
+        stream = batched_from_seed(99, "modes.stream", block_size=block_size)
+        sequences.append([stream.exponential(3.0) for _ in range(2500)])
+    assert sequences[0] == sequences[1] == sequences[2]
