@@ -2,13 +2,14 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
+.PHONY: install test test-fast test-slow ci faults-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
 
 help:
 	@echo "install       editable install"
 	@echo "test          full test suite (incl. slow shape assertions)"
 	@echo "test-fast     fast tests only (~15 s)"
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
+	@echo "faults-smoke  crash-and-recover drill from docs/FAULTS.md (retries, zero lost)"
 	@echo "lint          determinism sanitizer + ruff + mypy (latter two skip if absent)"
 	@echo "lint-report   lint with JSON output to lint-report.json (CI artifact)"
 	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
@@ -32,6 +33,15 @@ test-slow:
 
 ci:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# The runnable example of docs/FAULTS.md, exactly as written there: server#0
+# crashes at 20 ms and recovers at 60 ms while clients retry on a 20 ms
+# timeout.  Expect retries > 0 and lost=0 in the `faults:` report line.
+faults-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run clirs \
+		--requests 4000 \
+		--faults "server-down@0.02:server#0;server-up@0.06:server#0" \
+		--request-timeout 0.02 --max-retries 5
 
 # Three layers: the project AST sanitizer is mandatory; ruff/mypy run when
 # installed (pip install -e ".[lint]") and are skipped gracefully otherwise

@@ -85,6 +85,25 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--skew", type=float, default=0.0, help="demand skew fraction (0 = none)"
     )
+    parser.add_argument(
+        "--faults",
+        default="",
+        help="fault schedule spec, e.g. "
+        "'server-down@0.05:server#0;server-up@0.1:server#0' "
+        "(see docs/FAULTS.md)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=0.0,
+        help="client request timeout in seconds (0 = never time out)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=-1,
+        help="retransmissions per timed-out request (-1 = config default)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig:
@@ -99,6 +118,12 @@ def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig
         overrides["utilization"] = args.utilization
     if args.skew:
         overrides["demand_skew"] = args.skew
+    if getattr(args, "faults", ""):
+        overrides["fault_schedule"] = args.faults
+    if getattr(args, "request_timeout", 0.0):
+        overrides["request_timeout"] = args.request_timeout
+    if getattr(args, "max_retries", -1) >= 0:
+        overrides["max_retries"] = args.max_retries
     return base_config(args.profile, seed=args.seed, scheme=scheme, **overrides)
 
 

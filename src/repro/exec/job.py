@@ -67,6 +67,14 @@ class JobOutcome:
     wall_time: float = 0.0
     events_executed: int = 0
     attempts: int = 1
+    # Failure-aware counters (zero on fault-free runs; see docs/FAULTS.md).
+    # ``from_record`` ignores unknown fields, so ledgers written before
+    # these existed still resume cleanly.
+    timeouts: int = 0
+    retries: int = 0
+    requests_lost: int = 0
+    packets_dropped: int = 0
+    unavailability: float = 0.0
 
     def to_record(self) -> Dict[str, Any]:
         """One JSON-safe ledger record."""
@@ -92,4 +100,9 @@ def outcome_from_result(job: Job, result) -> JobOutcome:
         sim_duration=result.sim_duration,
         wall_time=result.wall_time,
         events_executed=result.events_executed,
+        timeouts=result.timeouts,
+        retries=result.retries,
+        requests_lost=result.requests_lost,
+        packets_dropped=result.packets_dropped,
+        unavailability=result.unavailability,
     )

@@ -98,6 +98,10 @@ class ExperimentConfig:
     # --- CliRS-R95 -----------------------------------------------------------
     redundancy_percentile: float = 95.0
     redundancy_min_samples: int = 30
+    # --- faults & robustness (see docs/FAULTS.md) ----------------------------
+    fault_schedule: Optional[str] = None  # "kind@time:target;..."; None = none
+    request_timeout: Optional[float] = None  # seconds; None = never time out
+    max_retries: int = 3  # retransmissions per request, once a timeout is set
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -210,6 +214,22 @@ class ExperimentConfig:
                 f"workload_mode must be 'open' or 'closed', got "
                 f"{self.workload_mode!r}"
             )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive (seconds)")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.fault_schedule:
+            # Imported lazily: config is loaded by exec workers and the CLI
+            # before any fault machinery is needed.
+            from repro.faults.schedule import parse_fault_schedule
+
+            schedule = parse_fault_schedule(self.fault_schedule)
+            if schedule.requires_timeouts() and self.request_timeout is None:
+                raise ConfigurationError(
+                    "fault_schedule crashes servers or cuts links, which "
+                    "silently swallows requests; set request_timeout (and "
+                    "max_retries) so clients can recover -- see docs/FAULTS.md"
+                )
         if self.workload_mode == "closed":
             if self.write_fraction:
                 raise ConfigurationError(

@@ -39,6 +39,15 @@ class ExperimentResult:
     bytes_transferred: int = 0
     netrs_overhead_bytes: int = 0
     events_executed: int = 0
+    # Failure-aware accounting (all zero on fault-free runs; docs/FAULTS.md)
+    timeouts: int = 0
+    retries: int = 0
+    requests_lost: int = 0
+    duplicates_suppressed: int = 0
+    packets_dropped: int = 0
+    server_dropped_requests: int = 0
+    faults_injected: int = 0
+    unavailability: float = 0.0
 
     write_latency: Optional[LatencyRecorder] = None
 
@@ -80,6 +89,14 @@ class ExperimentResult:
             )
         if self.config.redundancy_enabled:
             lines.append(f"redundant_requests={self.redundant_requests}")
+        if self.config.fault_schedule or self.timeouts or self.requests_lost:
+            lines.append(
+                f"faults: injected={self.faults_injected} "
+                f"timeouts={self.timeouts} retries={self.retries} "
+                f"lost={self.requests_lost} "
+                f"packets_dropped={self.packets_dropped} "
+                f"unavailability={self.unavailability * 1e3:.1f}ms"
+            )
         return "\n".join(lines)
 
 
@@ -141,7 +158,20 @@ def run_experiment(
         events_executed=env.events_executed,
         write_latency=scenario.write_recorder,
         redundant_requests=sum(c.redundant_sent for c in scenario.clients),
+        timeouts=sum(c.timeouts for c in scenario.clients),
+        retries=sum(c.retries for c in scenario.clients),
+        requests_lost=sum(c.requests_lost for c in scenario.clients),
+        duplicates_suppressed=sum(
+            c.duplicates_suppressed for c in scenario.clients
+        ),
+        packets_dropped=scenario.network.packets_dropped,
+        server_dropped_requests=sum(
+            s.dropped_requests for s in scenario.servers.values()
+        ),
     )
+    if scenario.faults is not None:
+        result.faults_injected = scenario.faults.faults_injected
+        result.unavailability = scenario.faults.unavailability(env.now)
     if scenario.plan is not None:
         result.rsnode_count = scenario.plan.rsnode_count
         result.drs_group_count = len(scenario.plan.drs_groups)

@@ -19,6 +19,8 @@ from repro.core.placement.problem import build_operator_specs, estimate_traffic
 from repro.core.plan import SelectionPlan, TrafficGroup, make_traffic_groups
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import parse_fault_schedule
 from repro.kvstore.client import CompletionTracker, KVClient, RedundancyPolicy
 from repro.kvstore.fluctuation import BimodalFluctuation, StableService
 from repro.kvstore.hashing import ConsistentHashRing
@@ -67,6 +69,7 @@ class Scenario:
     groups: List[TrafficGroup] = field(default_factory=list)
     controller: Optional[NetRSController] = None
     plan: Optional[SelectionPlan] = None
+    faults: Optional[FaultInjector] = None
 
     def accelerators(self) -> List[Accelerator]:
         """All accelerators present in the scenario."""
@@ -182,6 +185,20 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     )
     if config.netrs:
         _wire_netrs(scenario)
+    if config.fault_schedule:
+        # Wired after NetRS so RSNode targets (including "busiest") resolve
+        # against the deployed plan.  Symbolic server#i/client#i targets
+        # index the sorted role lists, which are seeded-random per run.
+        scenario.faults = FaultInjector(
+            env,
+            parse_fault_schedule(config.fault_schedule),
+            network=network,
+            servers=servers,
+            server_hosts=server_hosts,
+            client_hosts=client_hosts,
+            controller=scenario.controller,
+        )
+        scenario.faults.arm()
     return scenario
 
 
@@ -314,6 +331,8 @@ def _build_clients(
                 ),
                 write_recorder=write_recorder,
                 write_quorum=config.write_quorum,
+                request_timeout=config.request_timeout,
+                max_retries=config.max_retries,
             )
         )
     return clients

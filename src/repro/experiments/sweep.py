@@ -188,5 +188,14 @@ def run_sweep(
             "rsnode_count": sum(r.rsnode_count for r in runs) / len(runs),
             "redundant_requests": sum(r.redundant_requests for r in runs)
             / len(runs),
+            # Failure-aware counters (zero unless faults/timeouts are
+            # configured; see docs/FAULTS.md), averaged over repetitions
+            # like the other extras.
+            "timeouts": sum(r.timeouts for r in runs) / len(runs),
+            "retries": sum(r.retries for r in runs) / len(runs),
+            "requests_lost": sum(r.requests_lost for r in runs) / len(runs),
+            "packets_dropped": sum(r.packets_dropped for r in runs)
+            / len(runs),
+            "unavailability": sum(r.unavailability for r in runs) / len(runs),
         }
     return result

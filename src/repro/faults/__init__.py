@@ -1,0 +1,38 @@
+"""Deterministic fault injection: crash servers, cut links, fail RSNodes.
+
+A :class:`FaultSchedule` is a timeline of fault events (built
+programmatically, parsed from the ``fault_schedule`` config spec, or drawn
+reproducibly from a named RNG stream); a :class:`FaultInjector` replays it
+against a built scenario through ordinary engine callbacks, so faulty runs
+stay byte-reproducible per seed.  The failure model -- event taxonomy,
+schedule grammar, client retry/timeout semantics, failover paths,
+determinism guarantees and the failure-aware metrics -- is documented in
+``docs/FAULTS.md``.
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    LinkDegrade,
+    LinkDown,
+    LinkUp,
+    RSNodeDown,
+    RSNodeUp,
+    ServerDown,
+    ServerUp,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, parse_fault_schedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkDegrade",
+    "LinkDown",
+    "LinkUp",
+    "RSNodeDown",
+    "RSNodeUp",
+    "ServerDown",
+    "ServerUp",
+    "parse_fault_schedule",
+]

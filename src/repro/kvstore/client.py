@@ -33,6 +33,12 @@ from repro.sim.rng import DrawSource
 #: Shared generator of globally unique request IDs.
 _request_ids = itertools.count(1)
 
+#: Cap on the exponential retry backoff, as a multiple of the base timeout:
+#: the k-th retransmission waits ``min(2**k, _BACKOFF_CAP) * request_timeout``
+#: before timing out again.  Fixed rather than configurable -- the cap only
+#: bounds pathological schedules, it is not a tuning knob (docs/FAULTS.md).
+_BACKOFF_CAP = 8.0
+
 
 @dataclass(slots=True)
 class RedundancyPolicy:
@@ -64,6 +70,11 @@ class _Outstanding:
     acks_needed: int = 1
     acks_received: int = 0
     copies_sent: int = 1
+    # Timeout/retry state (read path only; see docs/FAULTS.md).
+    attempts: int = 0
+    timeout_timer: object = None
+    tried: Tuple[str, ...] = ()
+    late_seen: int = 0
 
 
 class CompletionTracker:
@@ -116,6 +127,12 @@ class KVClient:
         "redundant_sent",
         "responses_received",
         "late_responses",
+        "request_timeout",
+        "max_retries",
+        "timeouts",
+        "retries",
+        "requests_lost",
+        "duplicates_suppressed",
     )
 
     def __init__(
@@ -132,12 +149,18 @@ class KVClient:
         rng: Optional[DrawSource] = None,
         write_recorder: Optional[LatencyRecorder] = None,
         write_quorum: Optional[int] = None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
     ) -> None:
         if redundancy is not None and netrs:
             raise ConfigurationError(
                 "redundant requests are a client-side scheme (CliRS-R95); "
                 "combine them with netrs=False"
             )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
         self.env = env
         self.host = host
         self.name = host.name
@@ -165,11 +188,21 @@ class KVClient:
         # request from here).  Called with this client after each first
         # response, before the tracker is notified.
         self.on_complete = None
+        # Timeout/retry policy (see docs/FAULTS.md): with a timeout set, a
+        # request unanswered for request_timeout seconds is retransmitted up
+        # to max_retries times with capped exponential backoff, then given
+        # up on (counted in requests_lost).
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
         # Accounting
         self.requests_sent = 0
         self.redundant_sent = 0
         self.responses_received = 0
         self.late_responses = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.requests_lost = 0
+        self.duplicates_suppressed = 0
         host.bind(self)
 
     # ------------------------------------------------------------------
@@ -216,6 +249,8 @@ class KVClient:
             record=record,
             primary_target=primary_target,
         )
+        if primary_target:
+            entry.tried = (primary_target,)
         self._outstanding[request_id] = entry
         self.requests_sent += 1
         self.host.send(packet)
@@ -223,6 +258,13 @@ class KVClient:
             delay = self._redundancy_threshold()
             entry.timer = self.env.call_in(
                 delay, self._fire_redundant, request_id
+            )
+        if self.request_timeout is not None:
+            # Arming a timer that never fires leaves results byte-identical:
+            # extra schedule entries only bump the monotone sequence counter,
+            # and cancelled timers neither run nor count as events.
+            entry.timeout_timer = self.env.call_in(
+                self.request_timeout, self._on_timeout, request_id
             )
         return request_id
 
@@ -340,6 +382,72 @@ class KVClient:
         self.host.send(duplicate)
 
     # ------------------------------------------------------------------
+    # Timeouts & retries (read path only; see docs/FAULTS.md)
+    # ------------------------------------------------------------------
+    def _on_timeout(self, request_id: int) -> None:
+        entry = self._outstanding.get(request_id)
+        if entry is None or entry.done:
+            return
+        self.timeouts += 1
+        if entry.attempts >= self.max_retries:
+            # Retry budget exhausted: the request is *lost*.  No latency
+            # sample is recorded, but the tracker still advances so the run
+            # terminates instead of stalling on a dead server.
+            entry.done = True
+            self.requests_lost += 1
+            del self._outstanding[request_id]
+            if self.on_complete is not None:
+                self.on_complete(self)
+            if self.tracker is not None:
+                self.tracker.complete()
+            return
+        entry.attempts += 1
+        self.retries += 1
+        now = self.env.now
+        if self.netrs:
+            # Re-enter the NetRS path with a fresh backup choice; the
+            # in-network RSNode re-selects (it may know the primary is slow
+            # by now -- exactly the aggregated-feedback advantage).
+            backup = self.selector.select(entry.replicas, now)
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=entry.key,
+                rgid=entry.rgid,
+                backup_replica=backup,
+                issued_at=entry.issued_at,
+                netrs=True,
+            )
+        else:
+            # Prefer replicas not yet tried (RepNet-style retry discipline:
+            # a timed-out server is the worst candidate for the retry); once
+            # every replica has been tried, select over the full set again.
+            untried = tuple(r for r in entry.replicas if r not in entry.tried)
+            candidates = untried or entry.replicas
+            if len(candidates) > 1:
+                target = self.selector.select(candidates, now)
+            else:
+                target = candidates[0]
+            entry.tried = entry.tried + (target,)
+            entry.primary_target = target
+            self.selector.note_sent(target, now)
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=entry.key,
+                rgid=entry.rgid,
+                backup_replica=target,
+                issued_at=entry.issued_at,
+                netrs=False,
+                dst=target,
+            )
+        self.requests_sent += 1
+        self.host.send(packet)
+        assert self.request_timeout is not None
+        delay = self.request_timeout * min(2.0 ** entry.attempts, _BACKOFF_CAP)
+        entry.timeout_timer = self.env.call_in(delay, self._on_timeout, request_id)
+
+    # ------------------------------------------------------------------
     # Responses
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet) -> None:
@@ -360,9 +468,18 @@ class KVClient:
         if entry is None or entry.done:
             self.late_responses += 1
             if entry is not None:
-                # The losing copy of a duplicated request: all responses are
-                # now in, so the entry can be dropped.
-                self._outstanding.pop(packet.request_id, None)
+                # A losing copy of a duplicated or retransmitted request.
+                # Retransmission copies are suppressed here: the first
+                # response completed the request, later ones only update
+                # selector feedback (above) and counters.
+                if entry.attempts:
+                    self.duplicates_suppressed += 1
+                entry.late_seen += 1
+                if entry.late_seen >= entry.duplicates_sent + entry.attempts:
+                    # All possible extra responses are in; drop the entry.
+                    # (Copies swallowed by a dead server or link never
+                    # arrive, so their entries are kept until run end.)
+                    self._outstanding.pop(packet.request_id, None)
             return
         entry.done = True
         latency = now - entry.issued_at
@@ -380,9 +497,11 @@ class KVClient:
             self.recorder.add(latency)
         if entry.timer is not None:
             entry.timer.cancel()  # type: ignore[attr-defined]
+        if entry.timeout_timer is not None:
+            entry.timeout_timer.cancel()  # type: ignore[attr-defined]
         # Keep duplicates findable until their responses arrive, but free
         # completed singletons immediately to bound memory.
-        if entry.duplicates_sent == 0:
+        if entry.duplicates_sent == 0 and entry.attempts == 0:
             del self._outstanding[packet.request_id]
         if self.on_complete is not None:
             self.on_complete(self)

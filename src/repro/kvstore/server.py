@@ -50,6 +50,10 @@ class KVServer:
         "completions",
         "arrivals",
         "max_queue_seen",
+        "down",
+        "_epoch",
+        "dropped_requests",
+        "lost_in_service",
     )
 
     def __init__(
@@ -84,6 +88,13 @@ class KVServer:
         self.completions = 0
         self.arrivals = 0
         self.max_queue_seen = 0
+        # Crash-stop state (see repro.faults and docs/FAULTS.md).  The epoch
+        # stamps in-flight completions so work scheduled before a crash dies
+        # with the server instead of completing across it.
+        self.down = False
+        self._epoch = 0
+        self.dropped_requests = 0
+        self.lost_in_service = 0
         host.bind(self)
         service_model.start(env)
 
@@ -109,10 +120,37 @@ class KVServer:
         )
 
     # ------------------------------------------------------------------
+    # Crash-stop faults
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the server: lose the queue and all requests in service.
+
+        Idempotent.  Requests arriving while down are dropped (and counted
+        in ``dropped_requests``); clients recover them via their timeout and
+        retry path.  The EWMA rate estimate survives the crash -- the paper's
+        feedback channel carries no tombstones, so stale state after
+        recovery is part of the model.
+        """
+        if self.down:
+            return
+        self.down = True
+        self._epoch += 1
+        self.lost_in_service += self._in_service + len(self._waiting)
+        self._waiting.clear()
+        self._in_service = 0
+
+    def recover(self) -> None:
+        """Bring a crashed server back with an empty queue (idempotent)."""
+        self.down = False
+
+    # ------------------------------------------------------------------
     # Packet handling
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet) -> None:
         """Endpoint callback: accept a read request."""
+        if self.down:
+            self.dropped_requests += 1
+            return
         self.arrivals += 1
         if self.queue_size + 1 > self.max_queue_seen:
             self.max_queue_seen = self.queue_size + 1
@@ -126,9 +164,12 @@ class KVServer:
         duration = self._draws.exponential(self.service_model.current_mean)
         packet.server_queue_delay = self.env.now - arrived_at
         packet.server_service_time = duration
-        self.env.post_in(duration, self._complete, (packet, duration))
+        self.env.post_in(duration, self._complete, (packet, duration, self._epoch))
 
-    def _complete(self, packet: Packet, duration: float) -> None:
+    def _complete(self, packet: Packet, duration: float, epoch: int) -> None:
+        if epoch != self._epoch:
+            # Scheduled before a crash: that work died with the server.
+            return
         self._in_service -= 1
         self.completions += 1
         self._ewma_service_time = (

@@ -77,6 +77,10 @@ class Network:
         "link_packets",
         "_receivers",
         "_fast_delay",
+        "packets_dropped",
+        "_dead_links",
+        "_degraded_links",
+        "_faulty",
     )
 
     def __init__(
@@ -132,6 +136,13 @@ class Network:
         self.track_links = track_links
         self.link_bytes: Dict[Tuple[str, str], int] = {}
         self.link_packets: Dict[Tuple[str, str], int] = {}
+        # Link fault state (see repro.faults): dead links swallow packets,
+        # degraded links multiply the per-hop delay.  ``_faulty`` folds both
+        # into one flag so the fault-free hot path pays a single branch.
+        self.packets_dropped = 0
+        self._dead_links: set = set()
+        self._degraded_links: Dict[Tuple[str, str], float] = {}
+        self._faulty = False
 
     # ------------------------------------------------------------------
     # Registry
@@ -174,6 +185,14 @@ class Network:
         receive = self._receivers.get(to_name)
         if receive is None:
             raise TopologyError(f"no device attached at {to_name}")
+        fault_factor = None
+        if self._faulty:
+            fault_link = (from_name, to_name)
+            if fault_link in self._dead_links:
+                # Dropped before any wire accounting: nothing was carried.
+                self.packets_dropped += 1
+                return
+            fault_factor = self._degraded_links.get(fault_link)
         # Inlined Packet.wire_accounting (the reference implementation):
         # sizing runs once per hop, where even the call overhead shows up.
         # test_fabric cross-checks these totals against wire_size().
@@ -216,6 +235,8 @@ class Network:
                 if backlog > self.max_link_backlog:
                     self.max_link_backlog = backlog
                 delay += backlog + transmission_time
+        if fault_factor is not None:
+            delay *= fault_factor
         # Inlined Environment.post_in (the reference implementation): one
         # event per hop makes even the scheduler's call overhead measurable.
         env = self.env
@@ -227,6 +248,50 @@ class Network:
             dq.append(entry)
         else:
             heappush(env._heap, entry)
+
+    # ------------------------------------------------------------------
+    # Link faults (driven by repro.faults; see docs/FAULTS.md)
+    # ------------------------------------------------------------------
+    def _check_link(self, a: str, b: str) -> None:
+        if b not in self.topology.neighbors(a):
+            raise TopologyError(f"no direct link {a} <-> {b}")
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Cut the link ``a <-> b``: packets on it are dropped and counted.
+
+        The router invalidates cached paths through both endpoints and
+        ECMP-reroutes around the cut where the topology offers a choice.
+        """
+        self._check_link(a, b)
+        self._dead_links.add((a, b))
+        self._dead_links.add((b, a))
+        self._faulty = True
+        self.router.fail_link(a, b)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Undo :meth:`fail_link` / :meth:`degrade_link` for ``a <-> b``."""
+        self._check_link(a, b)
+        was_dead = (a, b) in self._dead_links
+        self._dead_links.discard((a, b))
+        self._dead_links.discard((b, a))
+        self._degraded_links.pop((a, b), None)
+        self._degraded_links.pop((b, a), None)
+        self._faulty = bool(self._dead_links or self._degraded_links)
+        if was_dead:
+            self.router.restore_link(a, b)
+
+    def degrade_link(self, a: str, b: str, factor: float) -> None:
+        """Multiply the per-hop delay of ``a <-> b`` by ``factor`` (>= 1).
+
+        Degradation is a latency brown-out: packets still flow (routing is
+        unchanged -- a slow link is not a dead one), they just arrive late.
+        """
+        self._check_link(a, b)
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self._degraded_links[(a, b)] = factor
+        self._degraded_links[(b, a)] = factor
+        self._faulty = True
 
     def deliver_local(
         self, delay: float, fn: Callable[..., Any], *args: Any

@@ -49,10 +49,23 @@ class Router:
     ``path()`` is a pure function of ``(src, dst, flow_key)`` for a fixed
     topology, so results are memoized in a bounded LRU keyed by that triple;
     ``path_cache_size=0`` bypasses the cache entirely (the determinism tests
-    compare both modes byte-for-byte).  The topology is treated as frozen:
-    the cache is never invalidated -- if the wiring ever changes, build a new
-    ``Router``.  NetRS operator failures do not invalidate anything because
-    they change which switch *selects*, not how packets are wired.
+    compare both modes byte-for-byte).  The *wiring* is frozen -- if nodes or
+    edges are ever added, build a new ``Router`` -- but link *liveness* is
+    dynamic: :meth:`fail_link` marks a link dead, :meth:`invalidate` drops
+    every cached path that touches a node, and ECMP choices skip dead links
+    when an alternative exists (local link-state rerouting: only the
+    immediate next edge of each choice is checked, matching what a real
+    switch knows; a cut with no alternative leaves the packet heading into
+    the dead link, where the fabric drops it).  NetRS operator failures do
+    not invalidate anything because they change which switch *selects*, not
+    how packets are wired.
+
+    While any link is down, caching switches from masked to full flow keys
+    (a dead link changes candidate-list lengths, so the precomputed ECMP
+    key mask no longer covers all influential bits); once the last link is
+    restored, the caches are flushed wholesale and the canonical masked-key
+    universe rebuilds.  Fault-free runs are therefore byte-identical to a
+    Router without this machinery, which the determinism suites pin.
 
     Cached lists are shared between callers and must not be mutated.
     """
@@ -64,6 +77,9 @@ class Router:
             raise ValueError("path_cache_size must be >= 0")
         self.topology = topology
         self.path_cache_size = path_cache_size
+        # Directed pairs (a, b) whose link is administratively dead; both
+        # directions are stored so membership tests need no normalization.
+        self._failed_links: set = set()
         self._path_cache: Dict[Tuple[str, str, int], List[str]] = {}
         self._hop_cache: Dict[Tuple[str, str, int], int] = {}
         self._tor_of_host: Dict[str, str] = {}
@@ -155,6 +171,74 @@ class Router:
         except KeyError:
             raise TopologyError(f"unknown host: {host_name}") from None
 
+    def invalidate(self, node: str) -> int:
+        """Drop every cached path that starts at, ends at, or crosses ``node``.
+
+        Returns the number of path entries dropped.  This is the cache's
+        contract with dynamic link state: simply *bypassing* a dead link for
+        new computations is not enough, because entries computed before the
+        failure may still route through it (the regression test in
+        ``tests/network/test_routing.py`` pins this).  ``hop_count`` entries
+        only store totals, so crossing-``node`` entries cannot be identified
+        individually; that cache is flushed wholesale (it is consulted by
+        the placement solvers before the run, never on the per-packet path).
+        """
+        cache = self._path_cache
+        stale = [
+            key
+            for key, path in cache.items()
+            if key[0] == node or key[1] == node or node in path
+        ]
+        for key in stale:
+            del cache[key]
+        if self._hop_cache:
+            self._hop_cache.clear()
+        return len(stale)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Mark the direct link ``a <-> b`` dead for ECMP choices."""
+        self._failed_links.add((a, b))
+        self._failed_links.add((b, a))
+        self.invalidate(a)
+        self.invalidate(b)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a failed link back; flushes caches on the last restore."""
+        self._failed_links.discard((a, b))
+        self._failed_links.discard((b, a))
+        if self._failed_links:
+            self.invalidate(a)
+            self.invalidate(b)
+        else:
+            # Back to a fault-free fabric: drop every detour so subsequent
+            # lookups rebuild the canonical masked-key cache universe.
+            self._path_cache.clear()
+            self._hop_cache.clear()
+
+    def _live(
+        self, from_name: str, options: List[str], to_name: str | None = None
+    ) -> List[str]:
+        """ECMP candidates whose immediate links are alive.
+
+        Checks the ``from_name -> option`` edge and, when ``to_name`` is
+        given, the ``option -> to_name`` edge (the descent step, where the
+        chosen switch's link to the final target is also known locally).
+        Falls back to the unfiltered list when every candidate is dead --
+        the packet then heads into a dead link and the fabric drops it,
+        modeling a genuine partition rather than inventing a detour the
+        topology does not offer.
+        """
+        failed = self._failed_links
+        if not failed:
+            return options
+        live = [
+            option
+            for option in options
+            if (from_name, option) not in failed
+            and (to_name is None or (option, to_name) not in failed)
+        ]
+        return live or options
+
     def path(self, src: str, dst: str, flow_key: int) -> List[str]:
         """Device names a packet visits *after* ``src``, ending at ``dst``.
 
@@ -165,7 +249,10 @@ class Router:
         """
         if self.path_cache_size == 0:
             return self._compute_path(src, dst, flow_key)
-        mask = self._ecmp_key_mask
+        # Under active link faults the candidate lists shrink, so the
+        # precomputed per-depth mask no longer bounds the influential bits;
+        # cache on the full key until the fabric heals (see class docstring).
+        mask = self._ecmp_key_mask if not self._failed_links else None
         if mask is not None:
             key = (src, dst, flow_key & mask)
         else:
@@ -224,12 +311,24 @@ class Router:
             return self._from_tor(tor, self._nodes[dst_tor], flow_key) + [dst.name]
         if dst.kind is NodeKind.TOR:
             if dst.pod == tor.pod:
-                agg = _pick(self._aggs_by_pod[tor.pod], flow_key, 0)
+                agg = _pick(
+                    self._live(tor.name, self._aggs_by_pod[tor.pod], dst.name),
+                    flow_key,
+                    0,
+                )
                 return [agg, dst.name]
-            agg_up = _pick(self._aggs_by_pod[tor.pod], flow_key, 0)
-            core = _pick(self._cores_of_agg[agg_up], flow_key, 1)
+            agg_up = _pick(
+                self._live(tor.name, self._aggs_by_pod[tor.pod]), flow_key, 0
+            )
+            core = _pick(
+                self._live(agg_up, self._cores_of_agg[agg_up]), flow_key, 1
+            )
             assert dst.pod is not None
-            agg_down = _pick(self._descent_aggs(core, dst.pod), flow_key, 2)
+            agg_down = _pick(
+                self._live(core, self._descent_aggs(core, dst.pod), dst.name),
+                flow_key,
+                2,
+            )
             return [agg_up, core, agg_down, dst.name]
         if dst.kind is NodeKind.AGG:
             if dst.pod == tor.pod:
@@ -239,8 +338,17 @@ class Router:
             # shares a core with the target.
             target_cores = set(self._cores_of_agg[dst.name])
             candidates = [
-                (agg, [c for c in self._cores_of_agg[agg] if c in target_cores])
-                for agg in self._aggs_by_pod[tor.pod]
+                (
+                    agg,
+                    [
+                        c
+                        for c in self._live(
+                            agg, self._cores_of_agg[agg], dst.name
+                        )
+                        if c in target_cores
+                    ],
+                )
+                for agg in self._live(tor.name, self._aggs_by_pod[tor.pod])
             ]
             candidates = [(agg, cores) for agg, cores in candidates if cores]
             if not candidates:
@@ -256,7 +364,7 @@ class Router:
         climbers = self._aggs_of_core_pod.get((dst.name, tor.pod), [])
         if not climbers:
             raise RoutingError(f"pod {tor.pod} has no link to core {dst.name}")
-        return [_pick(climbers, flow_key, 0), dst.name]
+        return [_pick(self._live(tor.name, climbers, dst.name), flow_key, 0), dst.name]
 
     def _from_agg(self, agg: Node, dst: Node, flow_key: int) -> List[str]:
         assert agg.pod is not None
@@ -265,16 +373,30 @@ class Router:
             dst_tor = self._nodes[dst_tor_name]
             if dst_tor.pod == agg.pod:
                 return [dst_tor_name, dst.name]
-            core = _pick(self._cores_of_agg[agg.name], flow_key, 1)
+            core = _pick(
+                self._live(agg.name, self._cores_of_agg[agg.name]), flow_key, 1
+            )
             assert dst_tor.pod is not None
-            agg_down = _pick(self._descent_aggs(core, dst_tor.pod), flow_key, 2)
+            agg_down = _pick(
+                self._live(
+                    core, self._descent_aggs(core, dst_tor.pod), dst_tor_name
+                ),
+                flow_key,
+                2,
+            )
             return [core, agg_down, dst_tor_name, dst.name]
         if dst.kind is NodeKind.TOR:
             if dst.pod == agg.pod:
                 return [dst.name]
-            core = _pick(self._cores_of_agg[agg.name], flow_key, 1)
+            core = _pick(
+                self._live(agg.name, self._cores_of_agg[agg.name]), flow_key, 1
+            )
             assert dst.pod is not None
-            agg_down = _pick(self._descent_aggs(core, dst.pod), flow_key, 2)
+            agg_down = _pick(
+                self._live(core, self._descent_aggs(core, dst.pod), dst.name),
+                flow_key,
+                2,
+            )
             return [core, agg_down, dst.name]
         if dst.kind is NodeKind.CORE:
             if dst.name in self._cores_of_agg[agg.name]:
@@ -290,11 +412,25 @@ class Router:
             dst_tor_name = self.tor_of(dst.name)
             dst_tor = self._nodes[dst_tor_name]
             assert dst_tor.pod is not None
-            agg_down = _pick(self._descent_aggs(core.name, dst_tor.pod), flow_key, 2)
+            agg_down = _pick(
+                self._live(
+                    core.name,
+                    self._descent_aggs(core.name, dst_tor.pod),
+                    dst_tor_name,
+                ),
+                flow_key,
+                2,
+            )
             return [agg_down, dst_tor_name, dst.name]
         if dst.kind is NodeKind.TOR:
             assert dst.pod is not None
-            agg_down = _pick(self._descent_aggs(core.name, dst.pod), flow_key, 2)
+            agg_down = _pick(
+                self._live(
+                    core.name, self._descent_aggs(core.name, dst.pod), dst.name
+                ),
+                flow_key,
+                2,
+            )
             return [agg_down, dst.name]
         if dst.kind is NodeKind.AGG:
             assert dst.pod is not None

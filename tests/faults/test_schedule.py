@@ -1,0 +1,169 @@
+"""FaultSchedule: spec parsing, ordering, validation, seeded randomness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultSchedule,
+    LinkDegrade,
+    LinkDown,
+    LinkUp,
+    RSNodeDown,
+    RSNodeUp,
+    ServerDown,
+    ServerUp,
+    parse_fault_schedule,
+)
+from repro.sim.rng import RngRegistry
+
+
+class TestParsing:
+    def test_every_kind_parses(self):
+        spec = (
+            "server-down@0.05:server#0;"
+            "server-up@0.1:server#0;"
+            "link-down@0.2:tor0.0/agg0.0;"
+            "link-up@0.3:tor0.0/agg0.0;"
+            "link-degrade@0.4:tor0.1/agg0.0*50;"
+            "rsnode-down@0.5:busiest;"
+            "rsnode-up@0.6:3"
+        )
+        events = parse_fault_schedule(spec).events
+        assert events == (
+            ServerDown(0.05, "server#0"),
+            ServerUp(0.1, "server#0"),
+            LinkDown(0.2, "tor0.0", "agg0.0"),
+            LinkUp(0.3, "tor0.0", "agg0.0"),
+            LinkDegrade(0.4, "tor0.1", "agg0.0", 50.0),
+            RSNodeDown(0.5, "busiest"),
+            RSNodeUp(0.6, 3),
+        )
+
+    def test_whitespace_and_empty_clauses_ignored(self):
+        spec = "  server-down @ 0.05 : server#0 ; ; server-up@0.1:server#0 ;"
+        events = parse_fault_schedule(spec).events
+        assert events == (
+            ServerDown(0.05, "server#0"),
+            ServerUp(0.1, "server#0"),
+        )
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("reboot@0.1:server#0", "unknown fault kind"),
+            ("server-down@0.1", "kind@time:target"),
+            ("server-down:server#0", "kind@time:target"),
+            ("server-down@soon:server#0", "bad time"),
+            ("link-down@0.1:tor0.0", "must be 'a/b'"),
+            ("link-degrade@0.1:tor0.0/agg0.0", "a/b*factor"),
+            ("link-degrade@0.1:tor0.0/agg0.0*slow", "bad factor"),
+            ("rsnode-down@0.1:quietest", "operator ID or 'busiest'"),
+            ("", "no events"),
+            (" ; ; ", "no events"),
+        ],
+    )
+    def test_malformed_clause_is_named(self, spec, fragment):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_fault_schedule(spec)
+        assert fragment in str(excinfo.value)
+
+    def test_from_spec_matches_parse(self):
+        spec = "server-down@0.05:server#0"
+        assert FaultSchedule.from_spec(spec).events == (
+            parse_fault_schedule(spec).events
+        )
+
+
+class TestOrdering:
+    def test_events_sorted_by_time(self):
+        schedule = (
+            FaultSchedule()
+            .server_up(0.2, "s")
+            .server_down(0.1, "s")
+        )
+        assert [e.at for e in schedule] == [0.1, 0.2]
+
+    def test_ties_keep_insertion_order(self):
+        schedule = (
+            FaultSchedule()
+            .server_down(0.1, "first")
+            .server_down(0.1, "second")
+            .server_down(0.1, "third")
+        )
+        assert [e.server for e in schedule] == ["first", "second", "third"]
+
+    def test_len_counts_events(self):
+        assert len(FaultSchedule().server_down(0.1, "s")) == 1
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            ServerDown(-0.1, "server#0")
+
+    def test_degrade_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            LinkDegrade(0.1, "a", "b", 0.5)
+
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("server-down@0.1:server#0", True),
+            ("link-down@0.1:tor0.0/agg0.0", True),
+            ("link-degrade@0.1:tor0.0/agg0.0*10", False),
+            ("rsnode-down@0.1:busiest", False),
+            ("server-up@0.1:server#0", False),
+        ],
+    )
+    def test_requires_timeouts(self, spec, expected):
+        assert parse_fault_schedule(spec).requires_timeouts() is expected
+
+
+class TestDescribe:
+    def test_describe_round_trips_through_parser(self):
+        spec = (
+            "server-down@0.05:server#0;link-degrade@0.4:tor0.1/agg0.0*50;"
+            "rsnode-down@0.5:busiest;link-down@0.6:tor0.0/agg0.1"
+        )
+        schedule = parse_fault_schedule(spec)
+        assert parse_fault_schedule(schedule.describe()).events == schedule.events
+
+
+class TestRandomServerCrashes:
+    def _make(self, seed):
+        rng = RngRegistry(seed).stream("faults")
+        return FaultSchedule.random_server_crashes(
+            rng,
+            servers=["hostA", "hostB", "hostC"],
+            count=4,
+            window=(0.0, 1.0),
+            downtime=0.05,
+        )
+
+    def test_same_seed_same_schedule(self):
+        assert self._make(7).describe() == self._make(7).describe()
+
+    def test_different_seed_different_schedule(self):
+        assert self._make(7).describe() != self._make(8).describe()
+
+    def test_shape(self):
+        schedule = self._make(7)
+        downs = [e for e in schedule if isinstance(e, ServerDown)]
+        ups = [e for e in schedule if isinstance(e, ServerUp)]
+        assert len(downs) == len(ups) == 4
+        assert all(0.0 <= e.at <= 1.0 for e in downs)
+        assert schedule.requires_timeouts()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(servers=[], count=1, window=(0.0, 1.0), downtime=0.05),
+            dict(servers=["h"], count=0, window=(0.0, 1.0), downtime=0.05),
+            dict(servers=["h"], count=1, window=(1.0, 0.5), downtime=0.05),
+            dict(servers=["h"], count=1, window=(0.0, 1.0), downtime=0.0),
+        ],
+    )
+    def test_bad_arguments_rejected(self, kwargs):
+        rng = RngRegistry(1).stream("faults")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.random_server_crashes(rng, **kwargs)

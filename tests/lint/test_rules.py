@@ -109,6 +109,15 @@ def test_perf001_only_applies_to_hot_modules():
     assert {f.rule for f in hot} == {"PERF001"}
 
 
+def test_det_rules_cover_the_faults_subsystem():
+    """repro.faults sits inside the deterministic core, so the determinism
+    rules must gate it like any other src/repro module."""
+    for stem, rule_id in (("det001", "DET001"), ("det003", "DET003")):
+        source = (FIXTURES / f"{stem}_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(source, path="src/repro/faults/injector.py")
+        assert {f.rule for f in findings} == {rule_id}, stem
+
+
 def test_perf001_ignores_draws_attribute_and_vector_draws():
     source = (
         "class S:\n"

@@ -213,3 +213,113 @@ class TestPathCache:
             assert router.path("host0.0.0", "host3.1.1", flow_key) == uncached.path(
                 "host0.0.0", "host3.1.1", flow_key
             )
+
+
+class TestInvalidationAndLinkFaults:
+    """The dynamic-liveness contract: invalidate, fail_link, reroute."""
+
+    def test_invalidate_drops_crossing_entries(self, topo):
+        router = Router(topo)
+        path = router.path("host0.0.0", "host3.1.1", flow_key=9)
+        crossed_agg = path[1]
+        # Cache an unrelated same-rack entry that must survive.
+        router.path("host1.0.0", "host1.0.1", flow_key=9)
+        before = len(router._path_cache)
+        dropped = router.invalidate(crossed_agg)
+        assert dropped >= 1
+        assert len(router._path_cache) == before - dropped
+        remaining = list(router._path_cache.items())
+        for (src, dst, _), cached in remaining:
+            assert crossed_agg not in (src, dst)
+            assert crossed_agg not in cached
+
+    def test_invalidate_by_endpoint_key(self, topo):
+        router = Router(topo)
+        router.path("tor0.0", "host3.1.1", flow_key=3)
+        assert router.invalidate("tor0.0") >= 1
+        assert all(
+            "tor0.0" not in (key[0], key[1]) for key in router._path_cache
+        )
+
+    def test_failed_link_entries_invalidated_not_bypassed(self, topo):
+        """The regression this API exists for: entries cached *before* a
+        failure must not keep routing packets into the dead link."""
+        router = Router(topo)
+        # Warm the cache across every flow-key equivalence class.
+        for flow_key in range(64):
+            router.path("host0.0.0", "host3.1.1", flow_key)
+        dead_agg = router.path("host0.0.0", "host3.1.1", 9)[1]
+        router.fail_link("tor0.0", dead_agg)
+        for flow_key in range(64):
+            path = router.path("host0.0.0", "host3.1.1", flow_key)
+            _assert_valid_path(topo, "host0.0.0", path, "host3.1.1")
+            assert path[1] != dead_agg, f"flow {flow_key} crossed the cut"
+
+    def test_reroute_matches_uncached(self, topo):
+        cached = Router(topo)
+        uncached = Router(topo, path_cache_size=0)
+        for r in (cached, uncached):
+            r.fail_link("tor0.0", "agg0.0")
+        for flow_key in range(64):
+            assert cached.path("host0.0.0", "host3.1.1", flow_key) == uncached.path(
+                "host0.0.0", "host3.1.1", flow_key
+            )
+
+    def test_restore_returns_to_canonical_paths(self, topo):
+        router = Router(topo)
+        pristine = Router(topo)
+        canonical = {
+            k: pristine.path("host0.0.0", "host3.1.1", k) for k in range(64)
+        }
+        router.fail_link("tor0.0", "agg0.0")
+        for k in range(64):
+            router.path("host0.0.0", "host3.1.1", k)
+        router.restore_link("tor0.0", "agg0.0")
+        assert not router._failed_links
+        # Detours were flushed; the canonical masked-key universe rebuilds.
+        for k in range(64):
+            assert router.path("host0.0.0", "host3.1.1", k) == canonical[k]
+
+    def test_no_alternative_heads_into_dead_link(self, topo):
+        """A cut access link has no detour: the path still crosses it and
+        the fabric (not the router) is responsible for the drop."""
+        router = Router(topo)
+        router.fail_link("host3.1.1", "tor3.1")
+        path = router.path("host0.0.0", "host3.1.1", flow_key=5)
+        assert path[-2:] == ["tor3.1", "host3.1.1"]
+
+    def test_intra_pod_avoids_dead_descent_link(self, topo):
+        """The intra-pod agg choice checks both edges (climb and descent),
+        so a dead agg->ToR link steers every flow through the other agg."""
+        router = Router(topo)
+        router.fail_link("agg0.0", "tor0.1")
+        for flow_key in range(64):
+            path = router.path("host0.0.0", "host0.1.0", flow_key)
+            _assert_valid_path(topo, "host0.0.0", path, "host0.1.0")
+            assert ("agg0.0", "tor0.1") not in zip(path, path[1:])
+
+    def test_singleton_descent_has_no_detour(self, topo):
+        """In a 4-ary fat tree each core reaches a pod through exactly one
+        aggregation switch, so a dead agg->ToR link on the descent leaves
+        flows pinned to that core heading into the cut (the fabric drops
+        them) -- the documented local link-state model, not a bug."""
+        router = Router(topo)
+        router.fail_link("agg3.0", "tor3.1")
+        paths = [router.path("host0.0.0", "host3.1.1", k) for k in range(64)]
+        via_dead = [p for p in paths if ("agg3.0", "tor3.1") in zip(p, p[1:])]
+        via_live = [p for p in paths if p not in via_dead]
+        assert via_dead and via_live  # both core classes still chosen
+
+    def test_fault_free_router_unaffected(self, topo):
+        """With no failed links the liveness machinery must be inert."""
+        plain = Router(topo)
+        exercised = Router(topo)
+        exercised.fail_link("tor0.0", "agg0.0")
+        exercised.restore_link("tor0.0", "agg0.0")
+        hosts = [h.name for h in topo.hosts]
+        for src in hosts[:4]:
+            for dst in hosts[:4]:
+                for flow_key in (0, 7, 12345):
+                    assert plain.path(src, dst, flow_key) == exercised.path(
+                        src, dst, flow_key
+                    )

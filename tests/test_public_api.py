@@ -13,6 +13,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.core.placement",
     "repro.exec",
+    "repro.faults",
     "repro.experiments",
     "repro.analysis",
     "repro.cli",
