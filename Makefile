@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci faults-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
+.PHONY: install test test-fast test-slow ci faults-smoke mesoscale-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
 
 help:
 	@echo "install       editable install"
@@ -10,13 +10,14 @@ help:
 	@echo "test-fast     fast tests only (~15 s)"
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
 	@echo "faults-smoke  crash-and-recover drill from docs/FAULTS.md (retries, zero lost)"
+	@echo "mesoscale-smoke  1k-host flow-tier demo + fidelity gate on one paper config"
 	@echo "lint          determinism sanitizer + ruff + mypy (latter two skip if absent)"
 	@echo "lint-report   lint with JSON output to lint-report.json (CI artifact)"
 	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-profile harness suite under cProfile (pstats under benchmarks/results/)"
-	@echo "bench-compare harness suite vs committed BENCH_4.json (warn-only)"
+	@echo "bench-compare harness suite vs committed BENCH_4.json (regression gate)"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
 install:
@@ -42,6 +43,14 @@ faults-smoke:
 		--requests 4000 \
 		--faults "server-down@0.02:server#0;server-up@0.06:server#0" \
 		--request-timeout 0.02 --max-retries 5
+
+# The flow tier's CI drill (docs/MESOSCALE.md): the scaled-down 1,024-host
+# demo must beat the packet tier by 50x engine events per request, and the
+# fidelity gate must hold on one committed paper scenario.
+mesoscale-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/mesoscale_100k.py --smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro validate-fidelity \
+		--scenario fig4-clirs-r95
 
 # Three layers: the project AST sanitizer is mandatory; ruff/mypy run when
 # installed (pip install -e ".[lint]") and are skipped gracefully otherwise

@@ -104,6 +104,13 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         default=-1,
         help="retransmissions per timed-out request (-1 = config default)",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=("packet", "flow"),
+        default="packet",
+        help="simulation tier: 'packet' (hop-by-hop) or 'flow' "
+        "(mesoscale, see docs/MESOSCALE.md)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig:
@@ -124,6 +131,8 @@ def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig
         overrides["request_timeout"] = args.request_timeout
     if getattr(args, "max_retries", -1) >= 0:
         overrides["max_retries"] = args.max_retries
+    if getattr(args, "fidelity", "packet") != "packet":
+        overrides["fidelity"] = args.fidelity
     return base_config(args.profile, seed=args.seed, scheme=scheme, **overrides)
 
 
@@ -315,6 +324,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(list(args.lint_args))
 
 
+def _cmd_validate_fidelity(args: argparse.Namespace) -> int:
+    from repro.mesoscale.validate import main as fidelity_main
+
+    return fidelity_main(list(args.fidelity_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -413,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
     lint_parser.set_defaults(func=_cmd_lint)
 
+    fidelity_parser = sub.add_parser(
+        "validate-fidelity",
+        help="gate the flow tier against the packet engine (docs/MESOSCALE.md)",
+        add_help=False,
+    )
+    fidelity_parser.add_argument("fidelity_args", nargs=argparse.REMAINDER)
+    fidelity_parser.set_defaults(func=_cmd_validate_fidelity)
+
     return parser
 
 
@@ -425,6 +448,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(arguments[1:])
+    # ``validate-fidelity`` likewise owns its tail (see the lint note above).
+    if arguments and arguments[0] == "validate-fidelity":
+        from repro.mesoscale.validate import main as fidelity_main
+
+        return fidelity_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     return args.func(args)

@@ -23,11 +23,25 @@ if TYPE_CHECKING:  # imported lazily: experiments itself builds on repro.exec
     from repro.experiments.config import ExperimentConfig
 
 
+#: Fields elided from the digest payload while they hold their default.
+#: Adding a config field changes every digest and silently invalidates all
+#: existing ledgers; eliding the default keeps pre-existing job identities
+#: stable (a job that never named the field *is* the same experiment).
+_DIGEST_DEFAULTS: Dict[str, Any] = {"fidelity": "packet"}
+
+
 def config_digest(config: "ExperimentConfig") -> str:
-    """Stable content hash over every field of ``config``."""
-    payload = json.dumps(
-        dataclasses.asdict(config), sort_keys=True, default=repr
-    )
+    """Stable content hash over every field of ``config``.
+
+    Fields listed in :data:`_DIGEST_DEFAULTS` are dropped from the payload
+    when they equal their default, so ledgers written before those fields
+    existed keep matching resumed jobs (forward compatibility).
+    """
+    fields = dataclasses.asdict(config)
+    for name, default in _DIGEST_DEFAULTS.items():
+        if fields.get(name) == default:
+            fields.pop(name, None)
+    payload = json.dumps(fields, sort_keys=True, default=repr)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -66,6 +80,7 @@ class JobOutcome:
     sim_duration: float = 0.0
     wall_time: float = 0.0
     events_executed: int = 0
+    micro_events: int = 0  # flow-tier internal events (fidelity="flow")
     attempts: int = 1
     # Failure-aware counters (zero on fault-free runs; see docs/FAULTS.md).
     # ``from_record`` ignores unknown fields, so ledgers written before
@@ -100,6 +115,7 @@ def outcome_from_result(job: Job, result) -> JobOutcome:
         sim_duration=result.sim_duration,
         wall_time=result.wall_time,
         events_executed=result.events_executed,
+        micro_events=result.micro_events,
         timeouts=result.timeouts,
         retries=result.retries,
         requests_lost=result.requests_lost,

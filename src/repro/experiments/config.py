@@ -102,6 +102,8 @@ class ExperimentConfig:
     fault_schedule: Optional[str] = None  # "kind@time:target;..."; None = none
     request_timeout: Optional[float] = None  # seconds; None = never time out
     max_retries: int = 3  # retransmissions per request, once a timeout is set
+    # --- fidelity tier (see docs/MESOSCALE.md) -------------------------------
+    fidelity: str = "packet"  # "packet" (hop-by-hop) or "flow" (mesoscale)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -230,6 +232,16 @@ class ExperimentConfig:
                     "silently swallows requests; set request_timeout (and "
                     "max_retries) so clients can recover -- see docs/FAULTS.md"
                 )
+        if self.fidelity not in ("packet", "flow"):
+            raise ConfigurationError(
+                f"fidelity must be 'packet' or 'flow', got {self.fidelity!r}"
+            )
+        if self.fidelity == "flow":
+            # Imported lazily for the same reason as the fault schedule; the
+            # gate rejects everything the flow tier cannot model faithfully.
+            from repro.mesoscale.support import ensure_flow_supported
+
+            ensure_flow_supported(self)
         if self.workload_mode == "closed":
             if self.write_fraction:
                 raise ConfigurationError(

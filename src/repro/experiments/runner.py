@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenarios import Scenario, build_scenario
 from repro.sim.probes import LatencyRecorder
@@ -39,6 +39,9 @@ class ExperimentResult:
     bytes_transferred: int = 0
     netrs_overhead_bytes: int = 0
     events_executed: int = 0
+    # Flow-tier internal events (fidelity="flow" only; the macro engine's
+    # events_executed stays tiny there -- see docs/MESOSCALE.md)
+    micro_events: int = 0
     # Failure-aware accounting (all zero on fault-free runs; docs/FAULTS.md)
     timeouts: int = 0
     retries: int = 0
@@ -82,6 +85,12 @@ class ExperimentResult:
             f"sim={self.sim_duration:.2f}s wall={self.wall_time:.2f}s "
             f"events={self.events_executed}",
         ]
+        if self.config.fidelity == "flow":
+            per_request = self.micro_events / max(1, self.completed_requests)
+            lines.append(
+                f"fidelity=flow micro_events={self.micro_events} "
+                f"({per_request:.1f}/request)"
+            )
         if self.config.netrs:
             lines.append(
                 f"rsnodes={self.rsnode_count} drs_groups={self.drs_group_count} "
@@ -111,7 +120,19 @@ def run_experiment(
     Raises :class:`ReproError` if the run does not complete within a generous
     simulated-time safety horizon (which would indicate a deadlock bug, not a
     slow system).
+
+    With ``config.fidelity == "flow"`` the run is delegated to the mesoscale
+    tier (:mod:`repro.mesoscale`); the result schema is identical.
     """
+    if config.fidelity == "flow":
+        if scenario is not None:
+            raise ConfigurationError(
+                "scenario reuse is packet-tier only; fidelity='flow' builds "
+                "its own FlowEngine"
+            )
+        from repro.mesoscale.runner import run_flow_experiment
+
+        return run_flow_experiment(config, keep_engine=keep_scenario)
     if scenario is None:
         scenario = build_scenario(config)
     env = scenario.env

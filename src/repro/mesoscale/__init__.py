@@ -1,0 +1,37 @@
+"""Mesoscale fidelity tier: flow-level simulation with a packet-tier gate.
+
+The packet engine (:mod:`repro.network`) walks every hop of every packet --
+~10 engine events per request -- which caps experiments near the paper's
+1024-host evaluation.  This package provides the second fidelity tier:
+requests become a handful of scheduled completions from an analytic
+link/queue model (:mod:`repro.mesoscale.flow`), with the selection
+algorithms, RNG streams and client/server queue logic shared with the
+packet tier so the two agree on the paper's configurations.
+
+Select it with ``ExperimentConfig(fidelity="flow")`` (or ``--fidelity flow``
+on the CLI); :mod:`repro.mesoscale.validate` and ``netrs validate-fidelity``
+gate the agreement between the tiers.  See docs/MESOSCALE.md.
+"""
+
+from repro.mesoscale.flow import FlowEngine
+from repro.mesoscale.geometry import FatTreeGeometry
+from repro.mesoscale.runner import run_flow_experiment
+from repro.mesoscale.support import FLOW_SCHEMES, ensure_flow_supported
+from repro.mesoscale.validate import (
+    FidelityReport,
+    Tolerances,
+    VALIDATION_SCENARIOS,
+    validate_fidelity,
+)
+
+__all__ = [
+    "FLOW_SCHEMES",
+    "FatTreeGeometry",
+    "FidelityReport",
+    "FlowEngine",
+    "Tolerances",
+    "VALIDATION_SCENARIOS",
+    "ensure_flow_supported",
+    "run_flow_experiment",
+    "validate_fidelity",
+]

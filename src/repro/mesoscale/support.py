@@ -1,0 +1,86 @@
+"""Feature gating for the mesoscale (flow-level) fidelity tier.
+
+The flow tier reproduces the packet engine's behaviour for the paper's core
+read path; everything it cannot faithfully model is rejected *up front* with
+a :class:`~repro.errors.ConfigurationError` naming the packet tier as the
+fallback.  ``ExperimentConfig.validate`` calls :func:`ensure_flow_supported`
+lazily whenever ``fidelity="flow"``, so unsupported combinations fail at
+config time (CLI, sweeps, job creation) rather than mid-run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Schemes the flow tier models (see docs/MESOSCALE.md for the mapping).
+FLOW_SCHEMES = ("clirs", "clirs-r95", "netrs-tor")
+
+
+def _reject(reason: str) -> None:
+    raise ConfigurationError(
+        f"fidelity='flow' does not support {reason}; "
+        "use fidelity='packet' for this configuration (docs/MESOSCALE.md)"
+    )
+
+
+def ensure_flow_supported(config) -> None:
+    """Raise :class:`ConfigurationError` if ``config`` needs the packet tier."""
+    if config.scheme not in FLOW_SCHEMES:
+        _reject(
+            f"scheme {config.scheme!r} (supported: {', '.join(FLOW_SCHEMES)}; "
+            "multi-tier RSNode placement is packet-tier only)"
+        )
+    if config.workload_mode != "open":
+        _reject("closed-loop workloads")
+    if config.write_fraction:
+        _reject("mixed read/write workloads")
+    if config.background_traffic_rate > 0:
+        _reject("background traffic")
+    if config.track_link_stats:
+        _reject("per-link byte accounting (there are no per-link queues)")
+    if config.replan_period is not None:
+        _reject("periodic replanning (the flow tier deploys one static plan)")
+    if config.scheme == "netrs-tor":
+        if config.group_granularity != "rack":
+            _reject("non-rack traffic-group granularity with netrs-tor")
+        # The packet tier degrades over-capacity groups to DRS; the flow
+        # tier has no DRS path, so reject configs whose per-ToR demand
+        # (uniform estimate) would exceed the accelerator budget.
+        half = config.fat_tree_k // 2
+        clients_per_rack = min(config.n_clients, half)
+        group_rate = config.arrival_rate() * clients_per_rack / config.n_clients
+        capacity = (
+            config.max_accelerator_utilization
+            * config.accelerator_cores
+            / config.accelerator_service_time
+            / config.work_per_request
+        )
+        if group_rate > capacity:
+            _reject(
+                "netrs-tor with per-ToR demand above the accelerator budget "
+                "(the packet tier would engage DRS)"
+            )
+    if config.fault_schedule:
+        from repro.faults.schedule import parse_fault_schedule
+
+        for event in parse_fault_schedule(config.fault_schedule).events:
+            kind = type(event).__name__
+            if kind in ("RSNodeDown", "RSNodeUp"):
+                _reject("RSNode fault events")
+            if kind in ("LinkDown", "LinkUp", "LinkDegrade"):
+                if not (_is_host(event.a) or _is_host(event.b)):
+                    _reject(
+                        f"link fault on {event.a}<->{event.b}: only "
+                        "host-access links map onto the flow model "
+                        "(fabric cuts imply rerouting)"
+                    )
+                if config.link_bandwidth is not None:
+                    _reject(
+                        "link faults combined with link_bandwidth (the "
+                        "analytic serialization model has no per-link state)"
+                    )
+
+
+def _is_host(name: str) -> bool:
+    target = name.strip()
+    return target.startswith("host") or target.startswith(("server#", "client#"))

@@ -5,6 +5,7 @@ them by reference; they key side effects off environment variables, which
 propagate to spawned workers.
 """
 
+import json
 import multiprocessing
 import os
 from pathlib import Path
@@ -190,6 +191,35 @@ class TestLedgerAndResume:
         )
         assert (scratch / f"{stale.key}.runs").read_text() == "run\nrun\n"
         assert (scratch / f"{jobs[1].key}.runs").read_text() == "run\n"
+
+    def test_resume_accepts_pre_fidelity_ledger(self, scratch, tmp_path):
+        """Ledgers written before the ``fidelity``/``micro_events`` fields
+        existed must resume cleanly against today's configs.
+
+        Hand-writes records in the pre-PR6 layout: no ``micro_events``
+        counter, and digests computed over a config payload with no
+        ``fidelity`` key (which ``config_digest`` reproduces by eliding
+        the default).  Every job must be skipped, not re-run.
+        """
+        run_dir = tmp_path / "run"
+        run_dir.mkdir(parents=True)
+        jobs = _jobs(2)
+        lines = []
+        for job in jobs:
+            record = {"schema": 1}
+            record.update(echo_runner(job).to_record())
+            del record["micro_events"]  # the counter did not exist yet
+            lines.append(json.dumps(record))
+        RunLedger(run_dir).path.write_text("\n".join(lines) + "\n")
+        outcomes = execute_jobs(
+            jobs,
+            policy=ExecutionPolicy(run_dir=run_dir, resume=True),
+            runner=touch_counting_runner,
+        )
+        assert list(outcomes) == [job.key for job in jobs]
+        for job in jobs:  # resumed from the ledger, never executed
+            assert not (scratch / f"{job.key}.runs").exists()
+        assert all(o.micro_events == 0 for o in outcomes.values())
 
     def test_fresh_run_resets_stale_ledger(self, scratch, tmp_path):
         run_dir = tmp_path / "run"

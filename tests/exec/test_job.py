@@ -1,5 +1,9 @@
 """Tests for the job model: stable keys, content digests, outcomes."""
 
+import dataclasses
+import hashlib
+import json
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -41,6 +45,23 @@ class TestDigests:
         assert config_digest(base) != config_digest(
             base.replace(utilization=0.42)
         )
+
+    def test_digest_elides_default_fidelity(self):
+        """Ledgers written before ``fidelity`` existed must keep matching.
+
+        The pre-PR6 digest hashed a payload with no ``fidelity`` key; the
+        field is elided while it holds its default, so that digest is
+        reproduced exactly.  A non-default fidelity is a different
+        experiment and must change the digest.
+        """
+        config = ExperimentConfig.tiny(seed=2)
+        fields = dataclasses.asdict(config)
+        assert fields.pop("fidelity") == "packet"
+        legacy = hashlib.sha256(
+            json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
+        ).hexdigest()[:16]
+        assert config_digest(config) == legacy
+        assert config_digest(config.replace(fidelity="flow")) != legacy
 
 
 class TestJobOutcome:

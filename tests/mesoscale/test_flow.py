@@ -1,0 +1,103 @@
+"""The flow tier's contract: deterministic, and bit-identical to the packet
+engine on the supported schemes (the property the validation gate relies on).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.mesoscale import FLOW_SCHEMES
+from repro.mesoscale.runner import run_flow_experiment
+
+#: Counters that must agree exactly between the two tiers.
+IDENTITY_FIELDS = (
+    "completed_requests",
+    "transmissions",
+    "bytes_transferred",
+    "netrs_overhead_bytes",
+    "redundant_requests",
+    "selector_requests_handled",
+    "timeouts",
+    "retries",
+    "requests_lost",
+    "duplicates_suppressed",
+    "packets_dropped",
+    "server_dropped_requests",
+    "faults_injected",
+)
+
+FAULT_SCHEDULE = (
+    "server-down@0.02:server#0;server-up@0.06:server#0;"
+    "link-down@0.03:client#1/tor(client#1);link-up@0.05:client#1/tor(client#1);"
+    "link-degrade@0.01:client#2/tor(client#2)*3.0"
+)
+
+
+def _tiny(scheme, **overrides):
+    return ExperimentConfig.tiny(scheme=scheme, seed=5).replace(**overrides)
+
+
+def _assert_identical(packet, flow):
+    assert flow.latency.samples == packet.latency.samples
+    for name in IDENTITY_FIELDS:
+        assert getattr(flow, name) == getattr(packet, name), name
+    assert flow.accelerator_max_utilization == pytest.approx(
+        packet.accelerator_max_utilization
+    )
+    assert flow.unavailability == pytest.approx(packet.unavailability)
+
+
+def test_same_seed_is_bit_identical():
+    config = _tiny("clirs", fidelity="flow")
+    first = run_flow_experiment(config)
+    second = run_flow_experiment(config)
+    assert first.latency.samples == second.latency.samples
+    assert first.summary() == second.summary()
+    assert first.transmissions == second.transmissions
+    assert first.micro_events == second.micro_events
+
+
+@pytest.mark.parametrize("scheme", FLOW_SCHEMES)
+def test_flow_matches_packet_bit_exactly(scheme):
+    config = _tiny(scheme)
+    packet = run_experiment(config)
+    flow = run_flow_experiment(config)
+    _assert_identical(packet, flow)
+
+
+def test_flow_matches_packet_under_faults():
+    config = _tiny(
+        "clirs",
+        fault_schedule=FAULT_SCHEDULE,
+        request_timeout=20e-3,
+        max_retries=4,
+    )
+    packet = run_experiment(config)
+    flow = run_flow_experiment(config)
+    _assert_identical(packet, flow)
+    assert packet.timeouts > 0  # the schedule actually bites
+
+
+def test_fidelity_dispatch_through_run_experiment():
+    config = _tiny("clirs", fidelity="flow")
+    via_dispatch = run_experiment(config)
+    direct = run_flow_experiment(config)
+    assert via_dispatch.latency.samples == direct.latency.samples
+    assert via_dispatch.micro_events == direct.micro_events
+    assert "FLOW" not in run_experiment(_tiny("clirs")).plan_description
+
+
+def test_flow_uses_far_fewer_engine_events():
+    config = _tiny("clirs")
+    packet = run_experiment(config)
+    flow = run_flow_experiment(config)
+    assert flow.events_executed * 50 < packet.events_executed
+    assert flow.micro_events > 0
+
+
+def test_describe_reports_flow_tier():
+    config = _tiny("clirs", fidelity="flow")
+    result = run_experiment(config)
+    text = result.describe()
+    assert "fidelity=flow" in text
+    assert "micro_events" in text

@@ -1,0 +1,55 @@
+"""FatTreeGeometry must agree exactly with the materialized packet topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesoscale import FatTreeGeometry
+from repro.network import build_fat_tree
+
+
+def test_host_order_matches_packet_topology():
+    geometry = FatTreeGeometry(4)
+    topology = build_fat_tree(4)
+    assert geometry.hosts == [node.name for node in topology.hosts]
+
+
+def test_tor_names_match_packet_topology():
+    geometry = FatTreeGeometry(4)
+    topology = build_fat_tree(4)
+    for host in geometry.hosts:
+        tor = geometry.tor_name(host)
+        assert host in {n.name for n in topology.hosts_under(tor)}
+
+
+def test_total_hosts_is_k_cubed_over_four():
+    assert FatTreeGeometry(4).total_hosts() == 16
+    assert FatTreeGeometry(8).total_hosts() == 128
+    assert FatTreeGeometry(74).total_hosts() == 101_306
+
+
+def test_hop_counts_by_locality_class():
+    geometry = FatTreeGeometry(4)
+    assert geometry.hop_count("host0.0.0", "host0.0.1") == 2  # same rack
+    assert geometry.hop_count("host0.0.0", "host0.1.0") == 4  # same pod
+    assert geometry.hop_count("host0.0.0", "host3.1.1") == 6  # cross-pod
+    assert geometry.hop_count("host2.1.0", "host2.1.0") == 2  # self: via ToR
+
+
+def test_rack_and_pod_indices():
+    geometry = FatTreeGeometry(4)
+    assert geometry.rack_index("host0.0.0") == 0
+    assert geometry.rack_index("host1.0.0") == 2
+    assert geometry.pod_index("host3.1.1") == 3
+
+
+def test_is_host():
+    geometry = FatTreeGeometry(4)
+    assert geometry.is_host("host0.1.1")
+    assert not geometry.is_host("tor0.1")
+    assert not geometry.is_host("host9.9.9")
+
+
+@pytest.mark.parametrize("k", [0, 1, 3, 5])
+def test_invalid_k_is_rejected(k):
+    with pytest.raises(ConfigurationError):
+        FatTreeGeometry(k)

@@ -75,20 +75,48 @@ def test_compare_flags_only_real_regressions(tmp_path):
     assert "new" not in comparison["benchmarks"]
 
 
-def test_compare_cli_is_warn_only(tmp_path, capsys):
-    """Even a massive regression never turns into a nonzero exit."""
+def test_compare_respects_per_benchmark_thresholds():
+    baseline = {
+        "git_commit": "cafe",
+        "benchmarks": {
+            "fig4_slice": {"units": 1, "wall_s": 1.0, "rate_per_s": 100.0},
+            "rng_draws": {"units": 1, "wall_s": 1.0, "rate_per_s": 100.0},
+        },
+    }
+    current = {
+        "git_commit": "beef",
+        "benchmarks": {
+            # 45/s: below the default 0.5 band but inside fig4's 0.6 band.
+            "fig4_slice": {"units": 1, "wall_s": 1.0, "rate_per_s": 45.0},
+            "rng_draws": {"units": 1, "wall_s": 1.0, "rate_per_s": 45.0},
+        },
+    }
+    comparison = bench.compare_reports(
+        baseline, current, tolerance=0.5, thresholds=bench.THRESHOLDS
+    )
+    assert comparison["regressions"] == ["rng_draws"]
+    assert comparison["benchmarks"]["fig4_slice"]["tolerance"] == 0.6
+    assert comparison["benchmarks"]["rng_draws"]["tolerance"] == 0.5
+
+
+def _impossible_baseline(tmp_path):
     baseline = {
         "git_commit": "cafe",
         "benchmarks": {
             "event_scheduling": {
                 "units": 10_000,
                 "wall_s": 1e-9,
-                "rate_per_s": 1e12,  # unattainable: guarantees a warning
+                "rate_per_s": 1e12,  # unattainable: guarantees a regression
             }
         },
     }
     baseline_path = tmp_path / "baseline.json"
     baseline_path.write_text(json.dumps(baseline))
+    return baseline_path
+
+
+def test_compare_cli_gates_on_regressions(tmp_path, capsys):
+    """A regression beyond threshold fails the run (the CI gate)."""
     comparison_path = tmp_path / "comparison.json"
     code = _run(
         [
@@ -96,12 +124,28 @@ def test_compare_cli_is_warn_only(tmp_path, capsys):
             "--repeats",
             "1",
             "--compare",
-            str(baseline_path),
+            str(_impossible_baseline(tmp_path)),
             "--compare-out",
             str(comparison_path),
         ]
     )
-    assert code == 0
+    assert code == 1
     comparison = json.loads(comparison_path.read_text())
     assert comparison["regressions"] == ["event_scheduling"]
+    assert "FAIL" in capsys.readouterr().err
+
+
+def test_compare_warn_is_the_escape_hatch(tmp_path, capsys):
+    """--compare-warn restores warn-only behaviour: exit 0 regardless."""
+    code = _run(
+        [
+            "event_scheduling",
+            "--repeats",
+            "1",
+            "--compare",
+            str(_impossible_baseline(tmp_path)),
+            "--compare-warn",
+        ]
+    )
+    assert code == 0
     assert "WARNING" in capsys.readouterr().err

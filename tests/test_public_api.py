@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.core.placement",
     "repro.exec",
     "repro.faults",
+    "repro.mesoscale",
     "repro.experiments",
     "repro.analysis",
     "repro.cli",
