@@ -17,7 +17,7 @@ help:
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-profile harness suite under cProfile (pstats under benchmarks/results/)"
-	@echo "bench-compare harness suite vs committed BENCH_4.json (regression gate)"
+	@echo "bench-compare harness suite vs committed BENCH_6.json (regression gate)"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
 install:
@@ -86,7 +86,7 @@ bench-profile:
 bench-compare:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.sim.bench \
-		--repeats 3 --compare BENCH_4.json \
+		--repeats 3 --compare BENCH_6.json \
 		--compare-out benchmarks/results/bench-compare.json
 
 bench-figures:

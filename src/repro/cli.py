@@ -111,6 +111,13 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         help="simulation tier: 'packet' (hop-by-hop) or 'flow' "
         "(mesoscale, see docs/MESOSCALE.md)",
     )
+    parser.add_argument(
+        "--engine-backend",
+        choices=("auto", "python", "numba", "cython"),
+        default="auto",
+        help="event-core kernels: 'auto' picks the fastest installed "
+        "backend; explicit names fail if unavailable (see docs/SIMULATOR.md)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig:
@@ -133,6 +140,8 @@ def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig
         overrides["max_retries"] = args.max_retries
     if getattr(args, "fidelity", "packet") != "packet":
         overrides["fidelity"] = args.fidelity
+    if getattr(args, "engine_backend", "auto") != "auto":
+        overrides["engine_backend"] = args.engine_backend
     return base_config(args.profile, seed=args.seed, scheme=scheme, **overrides)
 
 

@@ -155,6 +155,9 @@ def run_experiment(
     scenario.workload.start()
     env.run(until=safety_horizon)
     wall_time = time.perf_counter() - started_wall  # repro: noqa(DET002) - reported only
+    # Unwind eager trunk accounting for packets still in flight at the stop
+    # so fabric counters match what hop-by-hop forwarding would have counted.
+    scenario.network.settle_trunks(env.now)
 
     if tracker.completed < tracker.expected:
         raise ReproError(

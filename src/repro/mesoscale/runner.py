@@ -18,6 +18,7 @@ from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
 from repro.mesoscale.flow import FlowEngine
+from repro.sim.backend import resolve as resolve_backend
 
 
 def run_flow_experiment(
@@ -33,6 +34,11 @@ def run_flow_experiment(
     mis-calibrated fixtures.  With ``keep_engine`` the live engine is
     attached as ``result.engine`` for inspection.
     """
+    # The flow tier's hop chains mix per-hop delays (host vs switch links),
+    # so it has no compiled kernels; resolving still enforces the explicit-
+    # backend availability contract (engine_backend="numba" without numba
+    # must fail loudly here too, not silently differ from the packet tier).
+    resolve_backend(config.engine_backend)
     engine = FlowEngine(config, service_time_scale=service_time_scale)
     expected_duration = config.total_requests / config.arrival_rate()
     safety_horizon = engine.env.now + expected_duration * 5 + 10.0

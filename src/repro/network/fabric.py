@@ -17,8 +17,11 @@ congestion studies beyond the paper's scope.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Protocol, Tuple
+
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.network.packet import (
@@ -29,7 +32,10 @@ from repro.network.packet import (
     _SIZE_SM,
     _SIZE_SSL,
     _SIZE_UDP_HEADERS,
+    MAGIC_MONITOR,
     MAGIC_PLAIN,
+    MAGIC_REQUEST,
+    MAGIC_RESPONSE,
     Packet,
 )
 from repro.network.routing import DEFAULT_PATH_CACHE_SIZE, Router
@@ -81,6 +87,10 @@ class Network:
         "_dead_links",
         "_degraded_links",
         "_faulty",
+        "_trunking",
+        "_pending_trunks",
+        "_trunk_plans",
+        "_kernels",
     )
 
     def __init__(
@@ -143,6 +153,28 @@ class Network:
         self._dead_links: set = set()
         self._degraded_links: Dict[Tuple[str, str], float] = {}
         self._faulty = False
+        # Trunk collapse (transmit_fast): disabled for fault runs -- a
+        # collapsed trunk commits to its path at send time, which would let
+        # a packet sail over a link that dies while it is in flight.
+        self._trunking = True
+        # In-flight collapsed trunks whose eager accounting may need to be
+        # unwound if the run stops before their hops would have executed
+        # (see settle_trunks).  Pruned as deliveries pass.
+        self._pending_trunks: deque = deque()
+        # Memoized walk outcomes keyed on (route id, position, endpoints,
+        # packet steering fields); see transmit_fast.
+        self._trunk_plans: Dict[tuple, tuple] = {}
+        # Compiled kernel module (repro.sim.backend); None = reference loops.
+        self._kernels: Optional[Any] = None
+
+    def use_backend(self, backend: Any) -> None:
+        """Install a resolved :class:`repro.sim.backend.Backend`.
+
+        Compiled backends route the trunk timing chain and the settlement
+        pass through their kernels; the pure-Python backend keeps the
+        reference loops (``kernels`` is None there).
+        """
+        self._kernels = backend.kernels
 
     # ------------------------------------------------------------------
     # Registry
@@ -248,6 +280,241 @@ class Network:
             dq.append(entry)
         else:
             heappush(env._heap, entry)
+
+    def transmit_fast(
+        self,
+        from_name: str,
+        to_name: str,
+        packet: Packet,
+        from_host: bool = False,
+    ) -> None:
+        """Like :meth:`transmit`, but collapses runs of transparent hops.
+
+        Under the paper-default fabric (equal link latencies, no bandwidth
+        model, no per-link accounting, no active link faults) a packet
+        crossing k "mechanical" switches -- switches whose receive pipeline
+        would only bump counters and follow the attached source route --
+        produces k identical scheduler events.  This entry point walks the
+        route up front, performs the per-device accounting the skipped
+        receive calls would have done, and schedules a single delivery at
+        the cumulative delay ``k * d``.  A device that would do anything
+        beyond mechanical forwarding (operator intercept, route
+        recomputation, ToR ingress stamping, monitor egress, faults,
+        bandwidth queues) ends the trunk and is delivered to normally, so
+        event timing, counters, and tie-breaking seqs along a request chain
+        are exactly what the hop-by-hop path produces.
+        """
+        delay = self._fast_delay
+        if delay is None or self._faulty or not self._trunking:
+            self.transmit(from_name, to_name, packet)
+            return
+        magic = packet.magic
+        if from_host and (
+            magic == MAGIC_REQUEST
+            or magic == MAGIC_RESPONSE
+            or magic == MAGIC_MONITOR
+        ):
+            # First hop into a ToR stamps these (RSNode ID / source marker):
+            # not mechanical, take the regular path.
+            self.transmit(from_name, to_name, packet)
+            return
+        route = packet.route
+        pos = packet.route_pos
+        dst = packet.dst
+        # Trunk plans repeat: routes are shared cached lists from the
+        # router, and the walk outcome is a pure function of the plan key
+        # (everything it reads -- directory, attached hosts, monitors,
+        # operator IDs -- is frozen after build).  The plan holds a strong
+        # reference to the route list, which pins its id().
+        plan_key = (
+            id(route), pos, from_name, to_name, magic,
+            packet.rsnode_id, packet.route_target, dst,
+        )
+        plan = self._trunk_plans.get(plan_key)
+        if plan is not None:
+            absorbed, hops, receive, prev, pos_after, hop_bumps = plan[1:]
+            for device in absorbed:
+                device.packets_forwarded += 1
+            packet.hops += hop_bumps
+            packet.route_pos = pos_after
+        else:
+            devices = self._devices
+            netrs_kind = magic == MAGIC_REQUEST or magic == MAGIC_RESPONSE
+            hops = 1
+            hop_bumps = 0
+            prev = from_name
+            recv_name = to_name
+            absorbed = []
+            while True:
+                device = devices.get(recv_name)
+                if device is None:
+                    # No device attached: fall back for the error behaviour.
+                    self.transmit(from_name, to_name, packet)
+                    return
+                if getattr(device, "is_tor", None) is None:
+                    break  # a host (or a test double): deliver here
+                if netrs_kind:
+                    if packet.rsnode_id == device.operator_id:
+                        break  # operator intercept: full pipeline runs there
+                    target = device._operator_directory.get(packet.rsnode_id)
+                    if target is None or packet.route_target != target:
+                        break  # unknown ID / route recompute: not mechanical
+                else:
+                    if dst is None:
+                        break  # the switch raises RoutingError; let it
+                    if dst in device._attached_hosts:
+                        # Egress ToR.  Monitor observation is not mechanical.
+                        if (
+                            device.monitor is not None
+                            and magic == MAGIC_MONITOR
+                            and packet.source_marker is not None
+                        ):
+                            break
+                        device.packets_forwarded += 1
+                        absorbed.append(device)
+                        prev = recv_name
+                        recv_name = dst
+                        hops += 1
+                        continue  # next device is the host; loop exits there
+                    if packet.route_target != dst:
+                        break  # route recompute: not mechanical
+                try:
+                    next_hop = route[pos]
+                except IndexError:
+                    break  # exhausted route: the switch raises RoutingError
+                device.packets_forwarded += 1
+                absorbed.append(device)
+                packet.hops += 1
+                hop_bumps += 1
+                pos += 1
+                hops += 1
+                prev = recv_name
+                recv_name = next_hop
+            packet.route_pos = pos
+            pos_after = pos
+            receive = self._receivers[recv_name]
+            absorbed = tuple(absorbed)
+            plans = self._trunk_plans
+            if len(plans) >= 65536:
+                plans.clear()  # unbounded-key safety valve; never hit in runs
+            plans[plan_key] = (
+                route, absorbed, hops, receive, prev, pos_after, hop_bumps
+            )
+        # Wire accounting once for the whole trunk (size is invariant along
+        # it: nothing that changes sizing fields is mechanical).
+        common = 0
+        if packet.rgid >= 0:
+            common += _SIZE_RGID
+        if packet.source_marker is not None:
+            common += _SIZE_SM
+        if magic != MAGIC_PLAIN:
+            overhead = _SIZE_FIXED_NETRS + common
+            size = _SIZE_UDP_HEADERS + overhead
+        else:
+            overhead = 0
+            size = _SIZE_UDP_HEADERS + common
+        status = packet.server_status
+        if status is not None:
+            size += _SIZE_SSL + status.wire_size()
+        value_size = packet.value_size
+        size += 16 if value_size == 0 else value_size  # app payload
+        self.transmissions += hops
+        self.bytes_transferred += size * hops
+        self.netrs_overhead_bytes += overhead * hops
+        env = self.env
+        now = env._now
+        if hops == 1:
+            when = now + delay
+        else:
+            # Chained additions, not ``now + delay * hops``: hop-by-hop
+            # forwarding accumulates the delay one event at a time, and the
+            # two float sums differ in the last ulp.  Byte-identity with the
+            # reference path requires reproducing the chain exactly (the
+            # compiled kernel performs the identical chain).
+            kernels = self._kernels
+            if kernels is not None:
+                when = kernels.chained_arrival(now, delay, hops)
+            else:
+                when = now
+                for _ in range(hops):
+                    when += delay
+            pending = self._pending_trunks
+            while pending and pending[0][6] < now:
+                pending.popleft()  # delivered; accounting is final
+            pending.append((now, delay, hops, size, overhead, absorbed, when))
+        # Inlined Environment.post_in, as in transmit().
+        env._seq += 1
+        dq = env._dq
+        entry = (when, env._seq, 2, receive, (packet, prev))
+        if not dq or when >= dq[-1][0]:
+            dq.append(entry)
+        else:
+            heappush(env._heap, entry)
+
+    def disable_trunking(self) -> None:
+        """Force per-hop forwarding (used whenever faults may be injected).
+
+        Collapsed trunks commit their path and accounting at send time;
+        hop-by-hop forwarding re-checks link state at every hop.  The two
+        diverge the moment a link dies with packets in flight, so fault
+        runs take the reference path throughout.
+        """
+        self._trunking = False
+
+    def settle_trunks(self, stop_time: float) -> None:
+        """Unwind eager trunk accounting past the end of the run.
+
+        ``transmit_fast`` accounts every hop of a trunk at send time; the
+        reference path accounts hop ``i`` only when hop ``i``'s forwarding
+        event executes.  When the run stops at ``stop_time`` with trunks in
+        flight, the hops that would have executed at or after ``stop_time``
+        must be subtracted to keep fabric counters byte-identical with
+        hop-by-hop forwarding.  Called once after the event loop stops,
+        before counters are read.
+        """
+        pending = self._pending_trunks
+        kernels = self._kernels
+        if kernels is not None and pending:
+            # Vectorized settlement: gather the in-flight trunks into typed
+            # arrays and count undone hops in one compiled pass.  Hop times
+            # are a monotone chain, so the hops landing at or after the
+            # stop are exactly the last ``undone`` of each trunk.
+            cut = [t for t in pending if t[6] >= stop_time]
+            pending.clear()
+            if not cut:
+                return
+            bases = np.array([t[0] for t in cut], dtype=np.float64)
+            delays = np.array([t[1] for t in cut], dtype=np.float64)
+            lengths = np.array([t[2] for t in cut], dtype=np.int64)
+            out = np.empty(len(cut), dtype=np.int64)
+            total = kernels.count_undone_hops(bases, delays, lengths, stop_time, out)
+            if not total:
+                return
+            for trunk, undone in zip(cut, out):
+                if not undone:
+                    continue
+                _base, _delay, _hops, size, overhead, absorbed, _when = trunk
+                for device in absorbed[len(absorbed) - undone:]:
+                    device.packets_forwarded -= 1
+                self.transmissions -= undone
+                self.bytes_transferred -= size * undone
+                self.netrs_overhead_bytes -= overhead * undone
+            return
+        while pending:
+            base, delay, hops, size, overhead, absorbed, when = pending.popleft()
+            if when < stop_time:
+                continue  # fully delivered before the stop
+            undone = 0
+            t = base
+            for i in range(1, hops):
+                t += delay  # hop i's forwarding event time (chained float)
+                if t >= stop_time:
+                    undone += 1  # hop i+1 was never transmitted ...
+                    absorbed[i - 1].packets_forwarded -= 1  # ... nor counted
+            if undone:
+                self.transmissions -= undone
+                self.bytes_transferred -= size * undone
+                self.netrs_overhead_bytes -= overhead * undone
 
     # ------------------------------------------------------------------
     # Link faults (driven by repro.faults; see docs/FAULTS.md)

@@ -33,6 +33,7 @@ class Host:
         "packets_sent",
         "packets_received",
         "_transmit",
+        "_transmit_fast",
     )
 
     def __init__(self, name: str, network: Network) -> None:
@@ -42,8 +43,9 @@ class Host:
         self.endpoint: Optional[Endpoint] = None
         self.packets_sent = 0
         self.packets_received = 0
-        # Pre-bound fabric entry point for the per-packet injection path.
+        # Pre-bound fabric entry points for the per-packet injection path.
         self._transmit = network.transmit
+        self._transmit_fast = network.transmit_fast
         network.attach(name, self)
 
     def bind(self, endpoint: Endpoint) -> None:
@@ -71,7 +73,7 @@ class Host:
             )
             packet.route_pos = 0
         self.packets_sent += 1
-        self._transmit(self.name, self.tor_name, packet)
+        self._transmit_fast(self.name, self.tor_name, packet, True)
 
     def receive(self, packet: Packet, from_name: str) -> None:
         """Fabric callback: hand the packet to the endpoint."""

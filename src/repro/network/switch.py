@@ -85,6 +85,7 @@ class ProgrammableSwitch:
         "requests_selected",
         "responses_cloned",
         "_transmit",
+        "_transmit_fast",
     )
 
     def __init__(
@@ -122,8 +123,9 @@ class ProgrammableSwitch:
         self.packets_forwarded = 0
         self.requests_selected = 0
         self.responses_cloned = 0
-        # Pre-bound fabric entry point for the per-hop forwarding path.
+        # Pre-bound fabric entry points for the per-hop forwarding path.
         self._transmit = network.transmit
+        self._transmit_fast = network.transmit_fast
         network.attach(name, self)
 
     # ------------------------------------------------------------------
@@ -323,4 +325,4 @@ class ProgrammableSwitch:
         packet.route_pos = pos + 1
         packet.hops += 1
         self.packets_forwarded += 1
-        self._transmit(self.name, next_hop, packet)
+        self._transmit_fast(self.name, next_hop, packet)

@@ -1,0 +1,88 @@
+"""Cython kernels for the event core (see :mod:`repro.sim.backend`).
+
+Same three entry points as :mod:`repro.sim._kernels_numba`, written in
+Cython *pure-Python mode*: the module runs as-is under CPython (typed via
+``cython`` decorators that are no-ops when interpreted) and compiles to C
+with ``cythonize -i src/repro/sim/_kernels_cython.py`` for the actual
+speedup.  Importing it requires the ``cython`` package so that
+``engine_backend="cython"`` never silently resolves to an untyped module
+masquerading as a compiled one -- :func:`repro.sim.backend.resolve` treats
+Cython's presence as this backend's availability, and the bench metadata
+records whether the module was actually compiled.
+
+Every loop mirrors its pure-Python reference operation for operation; see
+the numba module's docstring for the pairing table and the byte-identity
+contract.
+"""
+
+from __future__ import annotations
+
+import cython  # ImportError here means: use engine_backend="python"
+
+#: True when the module was cythonized; interpreted pure-Python mode is
+#: correctness-equivalent but has no performance story.
+COMPILED = cython.compiled
+
+
+@cython.cfunc
+def _score(
+    rate: cython.double,
+    out: cython.double,
+    queue: cython.double,
+    resp: cython.double,
+    prior: cython.double,
+    weight: cython.double,
+    exponent: cython.double,
+) -> cython.double:
+    if not rate > 0.0:
+        rate = prior
+    expected_service: cython.double = 1.0 / rate
+    q_hat: cython.double = 1.0 + out * weight + queue
+    return resp - expected_service + q_hat**exponent * expected_service
+
+
+def c3_select(service_rate, outstanding, queue_size, response_time,
+              prior, weight, exponent):
+    """Single-pass C3 minimum; returns ``(best_index, tie_count)``."""
+    best: cython.Py_ssize_t = -1
+    ties: cython.Py_ssize_t = 0
+    best_score: cython.double = float("inf")
+    i: cython.Py_ssize_t
+    for i in range(len(service_rate)):
+        score = _score(
+            service_rate[i], outstanding[i], queue_size[i],
+            response_time[i], prior, weight, exponent,
+        )
+        if score < best_score:
+            best = i
+            best_score = score
+            ties = 1
+        elif score == best_score:
+            ties += 1
+    return best, ties
+
+
+def chained_arrival(base, delay, hops):
+    """Delivery time of a trunk: ``hops`` chained float additions (ulp-exact)."""
+    when: cython.double = base
+    i: cython.Py_ssize_t
+    for i in range(hops):
+        when += delay
+    return when
+
+
+def count_undone_hops(bases, delays, hops, stop_time, undone):
+    """Per pending trunk: chained hop events landing at/after the stop."""
+    total: cython.Py_ssize_t = 0
+    j: cython.Py_ssize_t
+    for j in range(len(bases)):
+        t: cython.double = bases[j]
+        delay: cython.double = delays[j]
+        count: cython.Py_ssize_t = 0
+        for _ in range(1, int(hops[j])):
+            t += delay
+            if t >= stop_time:
+                count += 1
+        undone[j] = count
+        total += count
+    return total

@@ -16,6 +16,8 @@ PRs can track regressions without the pytest-benchmark machinery:
   service-time/jitter hot path (draws/s),
 * ``metrics_aggregation`` -- LatencyRecorder summaries plus cross-trial
   aggregation, the end-of-run path (samples/s),
+* ``backend_dispatch``  -- C3 selections through the resolved event-core
+  backend (selections/s); the per-backend kernel canary,
 * ``fig4_slice``        -- wall time of one small Figure-4 cell end to end,
 * ``mesoscale_slice``   -- the same cell on the flow tier (requests/s), the
   mesoscale speedup canary (see docs/MESOSCALE.md).
@@ -59,7 +61,10 @@ from repro.sim.core import Environment
 from repro.sim.rng import batched_from_seed, stream_from_seed
 
 #: Bump when the report layout changes shape (not when numbers move).
-SCHEMA_VERSION = 1
+#: v2: ``engine_backend`` + compiler versions stamped into the payload and
+#: the ``backend_dispatch`` benchmark (cross-backend rates are not
+#: comparable; ``--compare`` refuses mismatched baselines).
+SCHEMA_VERSION = 2
 
 
 def _best_of(fn: Callable[[], int], repeats: int) -> Dict[str, float]:
@@ -191,6 +196,37 @@ def bench_metrics_aggregation(n: int = 200_000, trials: int = 20) -> int:
     return n
 
 
+def bench_backend_dispatch(n: int = 20_000, servers: int = 16) -> int:
+    """C3 selections through the resolved event-core backend.
+
+    Exercises exactly what :mod:`repro.sim.backend` swaps out: the scoring
+    pass (compiled kernel or reference loop), the mirror-array updates on
+    feedback, and -- on compiled backends -- the per-call gather/dispatch
+    overhead.  Comparing this rate across backends is the point; comparing
+    it across *different* backends in ``--compare`` is meaningless, which
+    is why reports stamp ``engine_backend``.
+    """
+    from repro.network.packet import ServerStatus
+    from repro.selection.c3 import C3Selector
+    from repro.sim.backend import resolve
+
+    backend = resolve("auto")
+    selector = C3Selector(
+        prior_service_rate=1000.0, rng=stream_from_seed(3, "bench.backend")
+    )
+    if backend.compiled:
+        selector.use_kernel(backend.kernels)
+    pool = [f"server{i}" for i in range(servers)]
+    status = ServerStatus(queue_size=4, service_rate=900.0, timestamp=0.0)
+    for i in range(n):
+        server = selector.select(pool, now=i * 1e-4)
+        selector.note_sent(server, now=i * 1e-4)
+        if i % 4 == 0:
+            selector.note_response(server, 1e-3, status, now=i * 1e-4)
+    assert selector.selections == n
+    return n
+
+
 def bench_fig4_slice(requests: int = 2_000) -> int:
     """One small Figure-4 cell (clirs-r95, 32 clients) end to end; returns
     the number of completed requests."""
@@ -227,6 +263,7 @@ BENCHMARKS: Dict[str, Callable[[], int]] = {
     "routing": bench_routing,
     "rng_draws": bench_rng_draws,
     "metrics_aggregation": bench_metrics_aggregation,
+    "backend_dispatch": bench_backend_dispatch,
     "fig4_slice": bench_fig4_slice,
     "mesoscale_slice": bench_mesoscale_slice,
 }
@@ -242,6 +279,7 @@ THRESHOLDS: Dict[str, float] = {
     "routing": 0.5,
     "rng_draws": 0.5,
     "metrics_aggregation": 0.5,
+    "backend_dispatch": 0.5,
     "fig4_slice": 0.6,
     "mesoscale_slice": 0.6,
 }
@@ -269,11 +307,19 @@ def run_benchmarks(
     only: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     """Run the suite (or the ``only`` subset) and return the report payload."""
+    from repro.sim.backend import cython_version, numba_version, resolve
+
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "git_commit": _git_commit(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # Which event-core backend the benchmarks actually ran on: rates
+        # measured under different backends are not comparable, so
+        # --compare refuses mismatched baselines (see main()).
+        "engine_backend": resolve("auto").describe(),
+        "numba": numba_version(),
+        "cython": cython_version(),
         "platform": platform.platform(),
         "repeats": repeats,
         "benchmarks": {},
@@ -434,6 +480,23 @@ def main(argv=None) -> int:
     if args.compare:
         with open(args.compare, "r", encoding="ascii") as fh:
             baseline = json.load(fh)
+        # Rates measured under different event-core backends are not
+        # comparable (a compiled kernel vs the reference loop is exactly
+        # the difference the gate must not absorb).  Schema-v1 baselines
+        # predate the field and were always pure python.
+        base_backend = baseline.get("engine_backend", "python")
+        cur_backend = report["engine_backend"]
+        if base_backend != cur_backend:
+            message = (
+                f"bench comparison: baseline backend '{base_backend}' != "
+                f"current backend '{cur_backend}'; rates are not comparable"
+            )
+            if not args.compare_warn:
+                sys.stderr.write(
+                    f"FAIL: {message} (use --compare-warn to downgrade)\n"
+                )
+                return 1
+            sys.stderr.write(f"WARNING: {message}\n")
         comparison = compare_reports(
             baseline, report, tolerance=args.tolerance, thresholds=THRESHOLDS
         )

@@ -7,6 +7,8 @@ probes cannot change simulation behaviour.
 from __future__ import annotations
 
 import math
+from array import array
+from bisect import insort
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -99,19 +101,38 @@ class LatencyRecorder:
 
     def __init__(self) -> None:
         self._samples: List[float] = []
-        self._sorted: np.ndarray | None = None
+        # Sorted mirror of _samples, built on first query and then kept
+        # sorted incrementally (insort is one C-level memmove): the R95
+        # issue path queries the mean/percentile after nearly every add,
+        # and re-sorting per query is quadratic in run length.
+        self._sorted: array | None = None
 
     def add(self, latency: float) -> None:
         """Record one latency sample, in seconds."""
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
         self._samples.append(latency)
-        self._sorted = None
+        if self._sorted is not None:
+            insort(self._sorted, latency)
 
     def extend(self, latencies: Iterable[float]) -> None:
         """Record many samples at once."""
         for value in latencies:
             self.add(value)
+
+    def extend_array(self, latencies: np.ndarray) -> None:
+        """Record a vectorized block of samples (numpy float array).
+
+        Used by batched producers (mesoscale flow completions, backend
+        kernels) to fold a whole block in two O(n) operations instead of
+        n scalar ``add`` calls.
+        """
+        if len(latencies) == 0:
+            return
+        if float(latencies.min()) < 0:
+            raise ValueError("negative latency in block")
+        self._samples += latencies.tolist()
+        self._sorted = None  # bulk append: cheaper to re-sort on next query
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -123,8 +144,10 @@ class LatencyRecorder:
 
     def _ensure_sorted(self) -> np.ndarray:
         if self._sorted is None:
-            self._sorted = np.sort(np.asarray(self._samples, dtype=float))
-        return self._sorted
+            self._sorted = array("d", sorted(self._samples))
+        # Zero-copy float64 view over the sorted mirror; numpy reductions
+        # over it are bit-identical to the former sort-per-query arrays.
+        return np.frombuffer(self._sorted, dtype=np.float64)
 
     def mean(self) -> float:
         """Arithmetic mean (NaN when empty)."""

@@ -10,6 +10,7 @@ entry points instead of a seeded :mod:`repro.sim.rng` stream.
 import pytest
 
 from repro.lint.runtime import deterministic_guard
+from repro.sim.backend import available_backends
 
 
 @pytest.fixture
@@ -17,3 +18,15 @@ def deterministic_sim():
     """Fail the test if global RNG entry points are called while it runs."""
     with deterministic_guard():
         yield
+
+
+@pytest.fixture(params=available_backends())
+def backend(request):
+    """Each installed event-core backend name (see :mod:`repro.sim.backend`).
+
+    The byte-identity suites parametrize over this fixture so every
+    installed compiled backend is held to the pure-Python oracle.  On a
+    bare interpreter this is just ``("python",)``; the CI numba leg adds
+    ``"numba"`` without any test edits.
+    """
+    return request.param

@@ -20,8 +20,13 @@ from repro.experiments.sweep import run_sweep
 from repro.kvstore import client as client_module
 
 #: The cache-bypass overrides: everything computed from scratch, no
-#: compaction, no pre-drawn RNG blocks.
-BYPASS = dict(route_cache_size=0, engine_compaction=False, rng_batch_size=0)
+#: compaction, no pre-drawn RNG blocks, reference event-core loops.
+BYPASS = dict(
+    route_cache_size=0,
+    engine_compaction=False,
+    rng_batch_size=0,
+    engine_backend="python",
+)
 
 
 def _run_with_trace(config):
@@ -36,14 +41,20 @@ def _run_with_trace(config):
 
 
 @pytest.mark.parametrize("scheme", ["clirs-r95", "netrs-ilp"])
-def test_experiment_identical_with_and_without_caches(scheme, deterministic_sim):
+def test_experiment_identical_with_and_without_caches(
+    scheme, backend, deterministic_sim
+):
     """Same seed, caches on vs. bypassed: identical metrics and traces.
 
     ``clirs-r95`` exercises timer cancellation (redundant-request timers)
     and therefore heap compaction; ``netrs-ilp`` exercises in-network
-    steering where packets change route targets mid-flight.
+    steering where packets change route targets mid-flight.  The cached
+    side runs on every installed event-core backend (the ``backend``
+    fixture); the bypass side always runs the pure-Python reference loops.
     """
-    config = ExperimentConfig.tiny(scheme=scheme, seed=7)
+    config = ExperimentConfig.tiny(scheme=scheme, seed=7).replace(
+        engine_backend=backend
+    )
     bypass = config.replace(**BYPASS)
 
     cached_result, cached_trace = _run_with_trace(config)
@@ -59,8 +70,10 @@ def test_experiment_identical_with_and_without_caches(scheme, deterministic_sim)
     assert cached_trace.to_csv() == plain_trace.to_csv()
 
 
-def test_sweep_json_identical_with_and_without_caches(deterministic_sim):
-    base = ExperimentConfig.tiny(seed=3, total_requests=500)
+def test_sweep_json_identical_with_and_without_caches(backend, deterministic_sim):
+    base = ExperimentConfig.tiny(seed=3, total_requests=500).replace(
+        engine_backend=backend
+    )
     kwargs = dict(
         parameter="utilization",
         values=[0.3, 0.9],
@@ -75,10 +88,14 @@ def test_sweep_json_identical_with_and_without_caches(deterministic_sim):
     assert cached.cells == plain.cells
 
 
-def test_events_executed_identical_with_and_without_compaction(deterministic_sim):
+def test_events_executed_identical_with_and_without_compaction(
+    backend, deterministic_sim
+):
     """events_executed counts only callbacks that ran, so compaction (which
     merely discards cancelled entries earlier) must not change it."""
-    config = ExperimentConfig.tiny(scheme="clirs-r95", seed=11)
+    config = ExperimentConfig.tiny(scheme="clirs-r95", seed=11).replace(
+        engine_backend=backend
+    )
     cached = run_experiment(config)
     plain = run_experiment(config.replace(**BYPASS))
     assert cached.events_executed == plain.events_executed

@@ -45,7 +45,10 @@ class TestRunExperiment:
         result = run_experiment(ExperimentConfig.tiny(seed=1))
         assert result.transmissions > 0
         assert result.bytes_transferred > 0
-        assert result.events_executed > result.transmissions
+        # Trunk collapse delivers a whole mechanical switch run as one
+        # event, so transmissions (per-hop accounting) now exceed engine
+        # events; each request still needs several events end to end.
+        assert result.events_executed > result.completed_requests
 
     def test_netrs_records_plan_stats(self):
         result = run_experiment(ExperimentConfig.tiny(scheme="netrs-ilp", seed=1))

@@ -37,14 +37,18 @@ class TestCrashAndRecover:
         assert result.completed_requests == result.config.total_requests
         assert result.unavailability == pytest.approx(0.04)
 
-    def test_same_seed_runs_are_identical(self):
-        first = run_experiment(_crash_config())
-        second = run_experiment(_crash_config())
+    def test_same_seed_runs_are_identical(self, backend):
+        """Fault counters are byte-identical across runs *and* across every
+        installed event-core backend (python is the oracle)."""
+        first = run_experiment(_crash_config(engine_backend="python"))
+        second = run_experiment(_crash_config(engine_backend=backend))
         assert first.summary() == second.summary()
         assert first.timeouts == second.timeouts
         assert first.retries == second.retries
         assert first.transmissions == second.transmissions
         assert first.events_executed == second.events_executed
+        assert first.faults_injected == second.faults_injected
+        assert first.requests_lost == second.requests_lost
 
     def test_crash_loses_in_flight_work_but_clients_recover(self):
         result = run_experiment(_crash_config(), keep_scenario=True)

@@ -58,8 +58,11 @@ def test_same_seed_is_bit_identical():
 
 
 @pytest.mark.parametrize("scheme", FLOW_SCHEMES)
-def test_flow_matches_packet_bit_exactly(scheme):
-    config = _tiny(scheme)
+def test_flow_matches_packet_bit_exactly(scheme, backend):
+    """The packet tier runs each installed event-core backend; the flow
+    tier has no compiled kernels, so this doubles as cross-backend
+    byte-identity for the packet engine."""
+    config = _tiny(scheme, engine_backend=backend)
     packet = run_experiment(config)
     flow = run_flow_experiment(config)
     _assert_identical(packet, flow)

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.sim import bench
+from repro.sim.backend import cython_version, numba_version, resolve
 
 
 def _run(argv):
@@ -23,6 +24,10 @@ def test_report_is_stamped(tmp_path):
     assert report["schema_version"] == bench.SCHEMA_VERSION
     assert report["numpy"] == np.__version__
     assert isinstance(report["git_commit"], str) and report["git_commit"]
+    # Schema v2: the event-core backend the numbers were measured under.
+    assert report["engine_backend"] == resolve("auto").describe()
+    assert report["numba"] == numba_version()
+    assert report["cython"] == cython_version()
     assert set(report["benchmarks"]) == {"event_scheduling"}
     entry = report["benchmarks"]["event_scheduling"]
     assert entry["units"] == 10_000
@@ -102,6 +107,9 @@ def test_compare_respects_per_benchmark_thresholds():
 def _impossible_baseline(tmp_path):
     baseline = {
         "git_commit": "cafe",
+        # Match the current backend so the cross-backend guard stays out of
+        # the way: these tests isolate the rate check.
+        "engine_backend": resolve("auto").describe(),
         "benchmarks": {
             "event_scheduling": {
                 "units": 10_000,
@@ -149,3 +157,94 @@ def test_compare_warn_is_the_escape_hatch(tmp_path, capsys):
     )
     assert code == 0
     assert "WARNING" in capsys.readouterr().err
+
+
+def _mismatched_baseline(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "git_commit": "cafe",
+                "engine_backend": "some-other-backend-1.0",
+                "benchmarks": {
+                    "event_scheduling": {
+                        "units": 10_000,
+                        "wall_s": 1.0,
+                        "rate_per_s": 1.0,  # would trivially pass the gate
+                    }
+                },
+            }
+        )
+    )
+    return baseline_path
+
+
+def test_compare_refuses_cross_backend_baselines(tmp_path, capsys):
+    """Rates from different event-core backends are not comparable."""
+    code = _run(
+        [
+            "event_scheduling",
+            "--repeats",
+            "1",
+            "--compare",
+            str(_mismatched_baseline(tmp_path)),
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "not comparable" in err
+    assert "some-other-backend-1.0" in err
+
+
+def test_compare_warn_downgrades_backend_mismatch(tmp_path, capsys):
+    code = _run(
+        [
+            "event_scheduling",
+            "--repeats",
+            "1",
+            "--compare",
+            str(_mismatched_baseline(tmp_path)),
+            "--compare-warn",
+        ]
+    )
+    assert code == 0
+    assert "WARNING" in capsys.readouterr().err
+
+
+def test_v1_baselines_are_treated_as_python(tmp_path, monkeypatch, capsys):
+    """Schema-v1 reports predate the field and were always pure Python."""
+    from repro.sim import backend as backend_module
+
+    # Pin the current run to pure Python so the v1 default ("python")
+    # matches regardless of what this interpreter has installed.
+    monkeypatch.setattr(backend_module, "numba_version", lambda: None)
+    monkeypatch.setattr(backend_module, "cython_version", lambda: None)
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "git_commit": "cafe",
+                "benchmarks": {
+                    "event_scheduling": {
+                        "units": 10_000,
+                        "wall_s": 1.0,
+                        "rate_per_s": 1.0,
+                    }
+                },
+            }
+        )
+    )
+    code = _run(
+        ["event_scheduling", "--repeats", "1", "--compare", str(baseline_path)]
+    )
+    assert code == 0
+    assert "not comparable" not in capsys.readouterr().err
+
+
+def test_backend_dispatch_benchmark_runs(tmp_path):
+    out = tmp_path / "report.json"
+    assert _run(["backend_dispatch", "--repeats", "1", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    entry = report["benchmarks"]["backend_dispatch"]
+    assert entry["units"] == 20_000
+    assert entry["rate_per_s"] > 0

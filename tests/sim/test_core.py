@@ -461,6 +461,127 @@ class TestDequeHeapOrdering:
         ]
 
 
+class TestSameTimestampBatch:
+    """The batched same-timestamp drain in :meth:`Environment.run`.
+
+    Every schedule here puts a far-future entry at the deque front so the
+    same-time cluster lands in the heap -- the shape that triggers the
+    batch drain after the first cluster entry dispatches.
+    """
+
+    def test_batch_merges_deque_and_heap_in_seq_order(self, env):
+        seen = []
+        env.call_in(1.0, seen.append, "dq-a")  # deque (in order)
+        env.call_in(2.0, seen.append, "later")  # deque
+        env.call_in(1.0, seen.append, "heap-b")  # heap (out of order now)
+        env.post_in(1.0, seen.append, ("heap-c",))
+        env.run()
+        assert seen == ["dq-a", "heap-b", "heap-c", "later"]
+        assert env.events_executed == 4
+
+    def test_entries_scheduled_mid_batch_run_after_it(self, env):
+        seen = []
+
+        def first():
+            seen.append("first")
+            # Same timestamp, but a higher seq: must run after the batch.
+            env.call_in(0.0, lambda: seen.append("nested"))
+
+        env.call_in(2.0, seen.append, "later")
+        env.call_in(1.0, first)
+        env.call_in(1.0, seen.append, "second")
+        env.run()
+        assert seen == ["first", "second", "nested", "later"]
+
+    def test_cancel_landing_mid_batch_skips_without_counter_drift(self, env):
+        seen = []
+        handles = {}
+
+        def canceller():
+            seen.append("canceller")
+            handles["victim"].cancel()
+
+        env.call_in(2.0, seen.append, "later")
+        env.call_in(1.0, seen.append, "lead")  # dispatched by the outer loop
+        env.call_in(1.0, canceller)  # batch[0]: cancels a drained entry
+        handles["victim"] = env.call_in(1.0, seen.append, "victim")
+        env.run()
+        assert seen == ["lead", "canceller", "later"]
+        assert env.events_executed == 3
+        # The victim had already left the schedule when it was cancelled, so
+        # the lazy-deletion counter must not have been touched.
+        assert env._cancelled == 0
+
+    def test_entry_cancelled_before_drain_is_settled_in_batch(self, env):
+        seen = []
+
+        def canceller():
+            seen.append("canceller")
+            victim.cancel()  # victim is still *in* the heap here
+
+        env.call_in(2.0, seen.append, "later")
+        env.call_in(1.0, canceller)
+        victim = env.call_in(1.0, seen.append, "victim")
+        env.run()
+        assert seen == ["canceller", "later"]
+        assert env.events_executed == 2
+        assert env._cancelled == 0
+
+    def test_stop_mid_batch_requeues_tail_for_resume(self, env):
+        seen = []
+        env.call_in(2.0, seen.append, "later")
+        env.call_in(1.0, seen.append, "lead")
+        env.call_in(1.0, lambda: env.stop("halt"))
+        env.call_in(1.0, seen.append, "tail1")
+        env.call_in(1.0, seen.append, "tail2")
+        assert env.run() == "halt"
+        assert seen == ["lead"]
+        assert env.events_executed == 2  # lead + the stop callback
+        assert env.now == 1.0
+        # The undispatched tail went back to the schedule front: resuming
+        # picks up exactly past the entry that raised.
+        assert env.run() is None
+        assert seen == ["lead", "tail1", "tail2", "later"]
+        assert env.events_executed == 5
+
+    def test_stop_mid_batch_restores_cancelled_tail_bookkeeping(self, env):
+        seen = []
+        handles = {}
+
+        def cancel_and_stop():
+            handles["victim"].cancel()
+            env.stop("halt")
+
+        env.call_in(2.0, seen.append, "later")
+        env.call_in(1.0, seen.append, "lead")
+        env.call_in(1.0, cancel_and_stop)
+        handles["victim"] = env.call_in(1.0, seen.append, "victim")
+        assert env.run() == "halt"
+        # The cancelled victim was re-queued, so its cancellation counts
+        # toward lazy deletion again until the resume drops it.
+        assert env._cancelled == 1
+        assert env.run() is None
+        assert seen == ["lead", "later"]
+        assert env.events_executed == 3
+        assert env._cancelled == 0
+
+    def test_batched_and_stepwise_runs_agree(self):
+        def run_once(batched):
+            env = Environment()
+            seen = []
+            # Clustered timestamps: thirds collide, interleaved dq/heap.
+            for i in range(60):
+                env.call_in((i % 20) * 0.1, seen.append, i)
+            if batched:
+                env.run()
+            else:
+                while env.peek() != float("inf"):
+                    env.step()
+            return seen, env.events_executed
+
+        assert run_once(batched=True) == run_once(batched=False)
+
+
 class TestDeterminism:
     def test_same_schedule_same_order(self):
         def run_once():
