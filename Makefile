@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci faults-smoke mesoscale-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline help
+.PHONY: install test test-fast test-slow ci faults-smoke mesoscale-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline contracts help
 
 help:
 	@echo "install       editable install"
@@ -11,9 +11,10 @@ help:
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
 	@echo "faults-smoke  crash-and-recover drill from docs/FAULTS.md (retries, zero lost)"
 	@echo "mesoscale-smoke  1k-host flow-tier demo + fidelity gate on one paper config"
-	@echo "lint          determinism sanitizer + ruff + mypy (latter two skip if absent)"
-	@echo "lint-report   lint with JSON output to lint-report.json (CI artifact)"
+	@echo "lint          determinism + contract sanitizers + ruff + mypy (latter two skip if absent)"
+	@echo "lint-report   lint (incl. contracts) with JSON output to lint-report.json (CI artifact)"
 	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
+	@echo "contracts     contract sanitizer only: mirror/kernel/digest drift (CON001..CON003)"
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-profile harness suite under cProfile (pstats under benchmarks/results/)"
@@ -52,22 +53,28 @@ mesoscale-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro validate-fidelity \
 		--scenario fig4-clirs-r95
 
-# Three layers: the project AST sanitizer is mandatory; ruff/mypy run when
-# installed (pip install -e ".[lint]") and are skipped gracefully otherwise
-# so `make lint` works in the minimal container.
+# Three layers: the project AST sanitizer (per-file rules + declared
+# contracts) is mandatory; ruff/mypy run when installed (pip install -e
+# ".[lint]") and are skipped gracefully otherwise so `make lint` works in
+# the minimal container.
 lint:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --stats
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --contracts --stats
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
 	else echo "ruff not installed; skipping (pip install -e '.[lint]')"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping (pip install -e '.[lint]')"; fi
 
 lint-report:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --contracts \
 		--format json --output lint-report.json
 
 lint-baseline:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --write-baseline
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --contracts --write-baseline
+
+# The contract sanitizer alone (what `netrs contracts` runs): CON001 mirror
+# pairs, CON002 stream order, CON003 digest completeness -- docs/LINTING.md.
+contracts:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint --contracts-only --stats
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

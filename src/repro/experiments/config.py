@@ -43,7 +43,13 @@ SCHEME_SOLVERS = {
 
 @dataclass
 class ExperimentConfig:
-    """All parameters of one simulated experiment."""
+    """All parameters of one simulated experiment.
+
+    Adding a field changes every job digest unless it is elided at its
+    default in ``repro.exec.job._DIGEST_DEFAULTS``; rule CON003
+    (``netrs contracts``, declared in :mod:`repro.experiments.contracts`)
+    fails CI until the elision entry and a CLI route exist.
+    """
 
     scheme: str = "clirs"
     seed: int = 0

@@ -583,15 +583,23 @@ _SCALAR_DRAW_METHODS = frozenset({"random", "exponential", "integers"})
 
 #: Receiver names that conventionally hold a numpy Generator.  Matching by
 #: name keeps the rule purely syntactic; `_draws` (the DrawSource slot fed
-#: by BatchedStream) is deliberately absent.
+#: by BatchedStream) is deliberately absent.  Role-named generators like
+#: ``_arrival_rng`` match via the ``_rng`` suffix (see :func:`_is_rng_name`).
 _RNG_RECEIVER_NAMES = frozenset(
     {"rng", "_rng", "gen", "generator", "random_state"}
 )
 
+
+def _is_rng_name(name: str) -> bool:
+    return name in _RNG_RECEIVER_NAMES or name.endswith("_rng")
+
+
 #: POSIX path fragments of the per-request hot modules the rule covers.
 #: Everywhere else (experiments setup, analysis, selection bootstrap) draws
-#: run O(1) per experiment and batching would be noise.
-_HOT_PATH_FRAGMENTS = ("repro/kvstore/", "repro/network/")
+#: run O(1) per experiment and batching would be noise.  The mesoscale flow
+#: tier is per-*request* rather than per-packet but still draws inside the
+#: request loop, so it counts.
+_HOT_PATH_FRAGMENTS = ("repro/kvstore/", "repro/network/", "repro/mesoscale/")
 
 
 @register_rule(
@@ -635,8 +643,10 @@ class Perf001ScalarHotDraw(Checker):
                 name = receiver.id
             elif isinstance(receiver, ast.Attribute):
                 name = receiver.attr
-            if name in _RNG_RECEIVER_NAMES and not any(
-                kw.arg == "size" for kw in node.keywords
+            if (
+                name is not None
+                and _is_rng_name(name)
+                and not any(kw.arg == "size" for kw in node.keywords)
             ):
                 self.report(
                     node,

@@ -2,7 +2,15 @@
 
 Exit codes: 0 clean (or all findings baselined/suppressed), 1 findings or
 parse errors, 2 usage errors.  ``--format json`` emits the machine-readable
-report consumed by CI (schema: :data:`repro.lint.findings.JSON_REPORT_VERSION`).
+report consumed by CI (schema: :data:`repro.lint.findings.JSON_REPORT_VERSION`);
+``--format github`` emits ``::error`` workflow annotations so findings show
+up inline on pull-request diffs.
+
+``--contracts`` additionally runs the declared-contract pass (rules
+``CON001``..``CON003``, see :mod:`repro.lint.contracts`); ``--contracts-only``
+runs nothing else and is what the ``netrs contracts`` subcommand dispatches
+to.  Contract findings share the noqa/baseline/exit-code machinery with the
+per-file rules.
 """
 
 from __future__ import annotations
@@ -11,12 +19,20 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.contracts import CONTRACT_RULES
 from repro.lint.engine import LintReport, lint_paths
-from repro.lint.rules import RULES, explain
+from repro.lint.rules import RULES, Rule, explain
+
+
+def _all_rules() -> Dict[str, Rule]:
+    """Per-file rules plus contract rules, for --list-rules/--explain/--stats."""
+    merged: Dict[str, Rule] = dict(RULES)
+    merged.update(CONTRACT_RULES)
+    return merged
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,9 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; github = workflow annotations)",
+    )
+    parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help="also run the declared-contract rules (CON001..CON003)",
+    )
+    parser.add_argument(
+        "--contracts-only",
+        action="store_true",
+        help="run only the contract rules (what `netrs contracts` does)",
     )
     parser.add_argument(
         "--output",
@@ -87,6 +113,7 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
 
 def _render_text(report: LintReport, *, stats: bool) -> str:
     lines: List[str] = []
+    titles = _all_rules()
     for finding in report.parse_errors:
         lines.append(finding.format_text())
     for finding in report.findings:
@@ -95,14 +122,23 @@ def _render_text(report: LintReport, *, stats: bool) -> str:
         lines.append("")
         lines.append("per-rule finding counts:")
         for rule_id, count in report.per_rule_counts().items():
-            lines.append(f"  {rule_id:8s} {count:4d}  {RULES[rule_id].title}")
+            rule = titles.get(rule_id)
+            title = rule.title if rule is not None else ""
+            lines.append(f"  {rule_id:8s} {count:4d}  {title}")
         lines.append(f"files analyzed:    {report.files_analyzed}")
+        lines.append(f"contracts checked: {report.contracts_checked}")
         lines.append(f"findings:          {len(report.findings)}")
         lines.append(f"noqa-suppressed:   {report.suppressed}")
         lines.append(f"baselined:         {report.baselined}")
     elif report.clean:
+        checked = (
+            f", {report.contracts_checked} contracts checked"
+            if report.contracts_checked
+            else ""
+        )
         lines.append(
-            f"ok: {report.files_analyzed} files analyzed, no findings "
+            f"ok: {report.files_analyzed} files analyzed{checked}, "
+            f"no findings "
             f"({report.suppressed} suppressed, {report.baselined} baselined)"
         )
     else:
@@ -113,17 +149,43 @@ def _render_text(report: LintReport, *, stats: bool) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _annotation_escape(text: str, *, property_value: bool = False) -> str:
+    """Escape per GitHub's workflow-command rules (order matters: % first)."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def _render_github(report: LintReport) -> str:
+    """``::error`` annotation per finding (empty output when clean)."""
+    lines: List[str] = []
+    for finding in [*report.parse_errors, *report.findings]:
+        location = ",".join(
+            (
+                f"file={_annotation_escape(finding.path, property_value=True)}",
+                f"line={finding.line}",
+                f"col={finding.col}",
+                f"title={_annotation_escape(finding.rule, property_value=True)}",
+            )
+        )
+        message = _annotation_escape(f"{finding.rule} {finding.message}")
+        lines.append(f"::error {location}::{message}")
+    return "".join(line + "\n" for line in lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            print(f"{rule_id:8s} {RULES[rule_id].title}")
+        rules = _all_rules()
+        for rule_id in sorted(rules):
+            print(f"{rule_id:8s} {rules[rule_id].title}")
         return 0
     if args.explain:
         try:
-            print(explain(args.explain.upper()))
+            print(explain(args.explain.upper(), _all_rules()))
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -132,10 +194,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     paths = list(args.paths)
     if not paths:
         paths = ["src/repro"] if os.path.isdir("src/repro") else ["."]
+    contracts = args.contracts or args.contracts_only
 
     try:
         baseline = _resolve_baseline(args)
-        report = lint_paths(paths, baseline=baseline)
+        report = lint_paths(
+            paths,
+            baseline=baseline,
+            contracts=contracts,
+            contracts_only=args.contracts_only,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -143,7 +211,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.write_baseline:
         target = args.baseline or DEFAULT_BASELINE_NAME
         # Re-lint without a baseline so the snapshot is complete.
-        full = lint_paths(paths, baseline=None)
+        full = lint_paths(
+            paths,
+            baseline=None,
+            contracts=contracts,
+            contracts_only=args.contracts_only,
+        )
         Baseline.from_findings(full.findings).save(target)
         print(
             f"wrote {len(full.findings)} finding(s) to {target}",
@@ -153,6 +226,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         rendered = json.dumps(report.to_json(), indent=2) + "\n"
+    elif args.format == "github":
+        rendered = _render_github(report)
     else:
         rendered = _render_text(report, stats=args.stats)
 

@@ -12,7 +12,9 @@ records whether the module was actually compiled.
 
 Every loop mirrors its pure-Python reference operation for operation; see
 the numba module's docstring for the pairing table and the byte-identity
-contract.
+contract.  The pairing is registered in
+:data:`repro.sim.backend.KERNEL_MIRRORS` and enforced statically by
+``netrs contracts`` (rule CON001, declarations in ``repro.sim.contracts``).
 """
 
 from __future__ import annotations

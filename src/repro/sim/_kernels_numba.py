@@ -12,6 +12,11 @@ editing a kernel, edit its reference loop in the same commit:
 * :func:`chained_arrival`  <-> ``repro.network.fabric.Network.transmit_fast``
 * :func:`count_undone_hops` <-> ``repro.network.fabric.Network.settle_trunks``
 
+The pairing is registered in :data:`repro.sim.backend.KERNEL_MIRRORS` and
+enforced statically: ``netrs contracts`` (rule CON001) compares this module
+against the cython implementations and pins the C3 scoring formula across
+all four sites, so an un-replayed edit fails CI before any golden runs.
+
 ``cache=True`` persists the compiled artifacts next to the module so the
 ~1 s first-call compilation is paid once per machine, not once per process
 (benchmarks would otherwise measure the compiler).

@@ -53,6 +53,34 @@ BACKEND_CHOICES = ("auto", "python", "numba", "cython")
 #: interface, two implementations: the modules are drop-in replacements.
 KERNEL_NAMES = ("c3_select", "chained_arrival", "count_undone_hops")
 
+#: Where each kernel's implementations live (``path:qualname``).  This is
+#: the registry behind the "edit the reference loop in the same commit"
+#: rule in the kernel modules' docstrings: ``repro.sim.contracts`` turns it
+#: into CON001 mirror contracts, so ``netrs contracts`` fails CI when the
+#: implementations drift apart.  ``reference`` names the pure-Python oracle
+#: loop (checked at runtime by the byte-identity suites; its surrounding
+#: control flow differs too much for a static body pair, so the scoring
+#: formula is pinned by an expression anchor instead -- see
+#: ``repro.sim.contracts.EXPR_ANCHORS``).
+KERNEL_MIRRORS = {
+    "c3_select": {
+        "reference": "src/repro/selection/c3.py:C3Selector.select",
+        "numba": "src/repro/sim/_kernels_numba.py:c3_select",
+        "cython": "src/repro/sim/_kernels_cython.py:c3_select",
+        "cython_score": "src/repro/sim/_kernels_cython.py:_score",
+    },
+    "chained_arrival": {
+        "reference": "src/repro/network/fabric.py:Network.transmit_fast",
+        "numba": "src/repro/sim/_kernels_numba.py:chained_arrival",
+        "cython": "src/repro/sim/_kernels_cython.py:chained_arrival",
+    },
+    "count_undone_hops": {
+        "reference": "src/repro/network/fabric.py:Network.settle_trunks",
+        "numba": "src/repro/sim/_kernels_numba.py:count_undone_hops",
+        "cython": "src/repro/sim/_kernels_cython.py:count_undone_hops",
+    },
+}
+
 
 @dataclass(frozen=True)
 class Backend:

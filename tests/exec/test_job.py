@@ -3,12 +3,17 @@
 import dataclasses
 import hashlib
 import json
+import pathlib
+import shutil
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.exec import Job, JobOutcome, config_digest
+from repro.exec.ledger import RunLedger
 from repro.experiments.config import ExperimentConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 
 class TestJobKeys:
@@ -62,6 +67,68 @@ class TestDigests:
         ).hexdigest()[:16]
         assert config_digest(config) == legacy
         assert config_digest(config.replace(fidelity="flow")) != legacy
+
+    def test_new_field_without_elision_is_caught_by_con003(self, tmp_path):
+        """The forward-compat dance can never be forgotten again: adding an
+        ExperimentConfig field without a ``_DIGEST_DEFAULTS`` entry fails
+        the contract sanitizer (ISSUE 8 satellite)."""
+        from repro.experiments.contracts import DIGESTS
+        from repro.lint.contracts import ContractRegistry, check_contracts
+
+        for rel in (
+            "src/repro/experiments/config.py",
+            "src/repro/exec/job.py",
+            "src/repro/cli.py",
+        ):
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(REPO_ROOT / rel, target)
+        config_copy = tmp_path / "src/repro/experiments/config.py"
+        source = config_copy.read_text(encoding="utf-8")
+        marker = '    scheme: str = "clirs"\n'
+        assert marker in source
+        config_copy.write_text(
+            source.replace(marker, marker + "    shiny_new_knob: int = 7\n"),
+            encoding="utf-8",
+        )
+        registry = ContractRegistry(digests=list(DIGESTS))
+        findings = check_contracts(str(tmp_path), registry=registry)
+        assert findings, "CON003 missed an undigested config field"
+        assert {f.rule for f in findings} == {"CON003"}
+        assert all("'shiny_new_knob'" in f.message for f in findings)
+        assert all(
+            f.path == "src/repro/experiments/config.py" for f in findings
+        )
+
+    def test_handwritten_pre_pr8_ledger_still_resumes(self, tmp_path):
+        """A ledger written before the contract sanitizer existed must keep
+        matching: the contract work pins digests, it does not change them."""
+        config = ExperimentConfig.tiny(seed=5)
+        fields = dataclasses.asdict(config)
+        fields.pop("fidelity")  # the pre-PR6 payload had no fidelity key
+        legacy_digest = hashlib.sha256(
+            json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
+        ).hexdigest()[:16]
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        record = {
+            "schema": 1,
+            "key": "00000-clirs-s5",
+            "digest": legacy_digest,
+            "summary": {"mean": 1.0},
+            "rsnode_count": 0,
+            "completed_requests": 10,
+            "wall_time": 0.1,
+            "attempts": 1,
+        }
+        (run_dir / "ledger.jsonl").write_text(
+            json.dumps(record) + "\n", encoding="utf-8"
+        )
+        outcomes = RunLedger(run_dir).load()
+        job = Job.from_config(config, 0)
+        # Resume skips a job when key AND digest match a recorded outcome.
+        assert job.key in outcomes
+        assert outcomes[job.key].digest == job.digest
 
 
 class TestJobOutcome:

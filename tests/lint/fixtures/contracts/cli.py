@@ -1,0 +1,6 @@
+"""CLI fixture paired with config.py: routes --routed-knob and nothing else."""
+
+
+def build_parser(parser):
+    parser.add_argument("--routed-knob", type=float, default=0.25)
+    return parser

@@ -1,0 +1,12 @@
+"""Config-digest fixtures (CON003): a founding field, a correctly routed
+field, an undigested one and a sweep-only one."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Config:
+    founding_knob: int = 1
+    routed_knob: float = 0.25
+    new_knob: str = "auto"  # line 11: no _DIGEST_DEFAULTS entry
+    sweep_knob: int = 4  # line 12: elided, but no --sweep-knob flag

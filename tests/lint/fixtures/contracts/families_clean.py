@@ -1,0 +1,7 @@
+"""Mirror-tier stream families: same names, minus the exempted one."""
+
+
+def build(registry, name):
+    service = registry.batched(f"service.{name}", block_size=8)
+    arrival = registry.stream("arrival")
+    return service, arrival

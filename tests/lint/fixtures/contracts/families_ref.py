@@ -1,0 +1,8 @@
+"""Reference-tier stream family declarations (CON002)."""
+
+
+def build(registry, name):
+    service = registry.batched(f"service.{name}", block_size=8)
+    arrival = registry.stream("arrival")
+    background = registry.stream("background")
+    return service, arrival, background

@@ -1,0 +1,7 @@
+"""Mirror tier that silently renamed a stream family: a different seed."""
+
+
+def build(registry, name):
+    service = registry.batched(f"svc.{name}", block_size=8)  # line 5: renamed
+    arrival = registry.stream("arrival")
+    return service, arrival

@@ -1,0 +1,3 @@
+"""Digest-elision fixture paired with config.py (CON003)."""
+
+_DIGEST_DEFAULTS = {"routed_knob": 0.25, "sweep_knob": 4}

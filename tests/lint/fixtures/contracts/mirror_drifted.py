@@ -1,0 +1,13 @@
+"""Drifted mirror: one statement differs from the reference (CON001)."""
+
+
+class FlowServer:
+    def complete(self, now):
+        self.busy -= 1
+        self.completions += 2  # line 7: the deliberate drift
+        self.log.append(now)
+
+
+def score(resp, expected, q_hat, exponent):
+    value = resp - expected + q_hat**exponent / expected  # drifted formula
+    return value

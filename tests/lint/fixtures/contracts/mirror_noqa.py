@@ -1,0 +1,8 @@
+"""Drifted mirror carrying an explicit suppression on the drift line."""
+
+
+class FlowServer:
+    def complete(self, now):
+        self.busy -= 1
+        self.completions += 2  # repro: noqa(CON001) - deliberate fixture drift
+        self.log.append(now)

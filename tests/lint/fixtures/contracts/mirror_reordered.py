@@ -1,0 +1,8 @@
+"""Mirror with two RNG draws swapped: values change, shapes do not (CON002)."""
+
+
+class FlowServer:
+    def arrival(self, now):
+        key = self.sampler.sample(self.arrival_rng)  # line 6: drawn too early
+        delay = self.arrival_rng.exponential(self.scale)
+        self.schedule(now + delay, key)

@@ -118,6 +118,36 @@ def test_det_rules_cover_the_faults_subsystem():
         assert {f.rule for f in findings} == {rule_id}, stem
 
 
+def test_perf001_covers_the_mesoscale_tier():
+    """The flow tier draws inside the per-request loop, so PERF001 gates
+    repro.mesoscale exactly like kvstore/network (ISSUE 8 satellite)."""
+    source = (FIXTURES / "perf001_bad.py").read_text(encoding="utf-8")
+    findings = lint_source(source, path="src/repro/mesoscale/flow.py")
+    assert {f.rule for f in findings} == {"PERF001"}
+
+
+def test_perf001_matches_role_named_generators():
+    """`self._arrival_rng` and friends are Generators by convention; the
+    `_rng` suffix must match so hot-path draws cannot hide behind a role
+    prefix."""
+    source = (
+        "class E:\n"
+        "    def f(self):\n"
+        "        return self._arrival_rng.exponential(1.0)\n"
+    )
+    findings = lint_source(source, path="src/repro/mesoscale/flow.py")
+    assert [f.rule for f in findings] == ["PERF001"]
+    assert lint_source(source, path="src/repro/analysis/loads.py") == []
+
+
+def test_det_rules_cover_the_mesoscale_tier():
+    """Determinism rules gate the flow tier like any other core module."""
+    for stem, rule_id in (("det001", "DET001"), ("det003", "DET003")):
+        source = (FIXTURES / f"{stem}_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(source, path="src/repro/mesoscale/scenarios.py")
+        assert rule_id in {f.rule for f in findings}, stem
+
+
 def test_perf001_ignores_draws_attribute_and_vector_draws():
     source = (
         "class S:\n"
