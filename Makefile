@@ -18,7 +18,7 @@ help:
 	@echo "bench         all benchmarks (figures + ablations + microbench)"
 	@echo "bench-smoke   engine microbenchmarks, low rounds, JSON for CI trends"
 	@echo "bench-profile harness suite under cProfile (pstats under benchmarks/results/)"
-	@echo "bench-compare harness suite vs committed BENCH_6.json (regression gate)"
+	@echo "bench-compare harness suite vs committed BENCH_8.json (regression gate)"
 	@echo "bench-figures just the paper figures (results under benchmarks/results/)"
 
 install:
@@ -49,7 +49,7 @@ faults-smoke:
 # demo must beat the packet tier by 50x engine events per request, and the
 # fidelity gate must hold on one committed paper scenario.
 mesoscale-smoke:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/mesoscale_100k.py --smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/mesoscale_1m.py --smoke
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro validate-fidelity \
 		--scenario fig4-clirs-r95
 
@@ -93,7 +93,7 @@ bench-profile:
 bench-compare:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.sim.bench \
-		--repeats 3 --compare BENCH_6.json \
+		--repeats 3 --compare BENCH_8.json \
 		--compare-out benchmarks/results/bench-compare.json
 
 bench-figures:

@@ -1,25 +1,35 @@
 #!/usr/bin/env python3
-"""Mesoscale scale demo: a million requests across a 100k-host fat-tree.
+"""Mesoscale scale demo: a million requests across a million-host fat-tree.
 
 The flow tier prices each request as a handful of analytically-scheduled
-completions instead of ~15 hop-by-hop packet events, which is what makes
-this scale tractable in pure Python (see docs/MESOSCALE.md).  This script
+completions instead of ~15 hop-by-hop packet events, and the full-scale
+run layers the struct-of-arrays fast path (``vector_batch``) and the
+sharded parallel loop (``shards``) on top, which is what makes this scale
+tractable in pure Python (see docs/MESOSCALE.md).  This script
 
 1. measures the packet tier's engine-events-per-request on a small
    reference run of the same scheme, then
 2. runs the full-scale flow experiment and reports wall clock, latency
-   percentiles, events-per-request and the packet/flow event ratio.
+   percentiles, events-per-request, peak RSS and the packet/flow event
+   ratio.
 
 It exits nonzero if the flow tier does not beat the packet tier by at
 least 50x engine events per request, so CI can run it as a smoke check.
 
 Usage::
 
-    python examples/mesoscale_100k.py            # 101,306 hosts, 1M requests
-    python examples/mesoscale_100k.py --smoke    # 1,024 hosts, 20k requests (CI)
+    python examples/mesoscale_1m.py                  # 1,024,000 hosts, 1M requests
+    python examples/mesoscale_1m.py --hosts 100000   # ~100k hosts instead
+    python examples/mesoscale_1m.py --smoke          # 1,024 hosts, 20k requests (CI)
+
+``--workers N`` runs the shards on N processes (default: REPRO_SHARD_WORKERS
+or serial in one process); either way the result is byte-identical -- the
+merge is job-key ordered.
 """
 
 import argparse
+import os
+import resource
 import sys
 import time
 
@@ -28,15 +38,29 @@ from repro.experiments import ExperimentConfig, run_experiment
 #: The demo must beat the packet tier by at least this factor (ISSUE gate).
 MIN_EVENT_RATIO = 50.0
 
+#: Full-scale topology: a 160-ary fat-tree is exactly 1,024,000 hosts.
+DEFAULT_HOSTS = 1_024_000
 
-def demo_config(smoke: bool, scheme: str, seed: int) -> ExperimentConfig:
+
+def k_for_hosts(hosts: int) -> int:
+    """Smallest even fat-tree arity whose k^3/4 hosts reach ``hosts``."""
+    k = 4
+    while k**3 // 4 < hosts:
+        k += 2
+    return k
+
+
+def demo_config(smoke: bool, hosts: int, shards: int, scheme: str, seed: int):
     # Zipf skew is scale-free: at 1,000 servers the default exponent (0.99)
     # concentrates ~7% of the ~700k req/s aggregate on one 3-replica key
     # set, saturating it regardless of fleet size.  The demo milds the skew
     # so per-replica load stays below capacity at scale.
-    scale = dict(zipf_exponent=0.6, utilization=0.7, fidelity="flow")
+    scale = dict(
+        zipf_exponent=0.6, utilization=0.7, fidelity="flow", vector_batch=4_096
+    )
     if smoke:
-        # CI-sized: a 16-ary fat-tree is 1,024 hosts.
+        # CI-sized: a 16-ary fat-tree is 1,024 hosts (single shard so the
+        # event-ratio gate measures the plain flow tier).
         return ExperimentConfig.small(scheme=scheme, seed=seed).replace(
             fat_tree_k=16,
             n_servers=100,
@@ -44,14 +68,24 @@ def demo_config(smoke: bool, scheme: str, seed: int) -> ExperimentConfig:
             total_requests=20_000,
             **scale,
         )
-    # Full scale: a 74-ary fat-tree is 101,306 hosts.
+    # Full scale: the topology is closed-form (no per-host objects), so a
+    # million hosts costs arithmetic, not memory; the per-request state is
+    # the bounded part and the shards split it.
     return ExperimentConfig.small(scheme=scheme, seed=seed).replace(
-        fat_tree_k=74,
+        fat_tree_k=k_for_hosts(hosts),
         n_servers=1_000,
         n_clients=4_000,
         total_requests=1_000_000,
+        shards=shards,
         **scale,
     )
+
+
+def peak_rss_mib() -> float:
+    """Peak RSS of this process plus any shard workers, in MiB."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (own + children) / 1024.0  # ru_maxrss is KiB on Linux
 
 
 def main() -> int:
@@ -60,13 +94,36 @@ def main() -> int:
         "--smoke",
         action="store_true",
         help="CI-sized run: 1,024 hosts and 20k requests instead of "
-        "101,306 hosts and 1M requests",
+        "1,024,000 hosts and 1M requests",
+    )
+    parser.add_argument(
+        "--hosts",
+        type=int,
+        default=DEFAULT_HOSTS,
+        help="target host count for the full-scale run; rounded up to the "
+        "nearest fat-tree arity (default: 1,024,000 = a 160-ary tree)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="independent sub-experiments the full-scale run splits into "
+        "(default 4; --smoke always runs a single shard)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes to run the shards on (default: REPRO_SHARD_WORKERS "
+        "or serial); the merged result is identical for any value",
     )
     parser.add_argument(
         "--scheme", default="clirs", choices=("clirs", "clirs-r95", "netrs-tor")
     )
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args()
+    if args.workers is not None:
+        os.environ["REPRO_SHARD_WORKERS"] = str(args.workers)
 
     # --- packet-tier reference: events/request on a small same-scheme run.
     reference = ExperimentConfig.small(
@@ -84,12 +141,14 @@ def main() -> int:
     )
 
     # --- the flow-tier run at scale.
-    config = demo_config(args.smoke, args.scheme, args.seed)
+    config = demo_config(args.smoke, args.hosts, args.shards, args.scheme, args.seed)
     hosts = config.fat_tree_k ** 3 // 4
+    shard_note = f", {config.shards} shards" if config.shards > 1 else ""
     print(
-        f"\nflow tier: {hosts} hosts ({config.fat_tree_k}-ary fat-tree), "
+        f"\nflow tier: {hosts:,} hosts ({config.fat_tree_k}-ary fat-tree), "
         f"{config.n_servers} servers, {config.n_clients} clients, "
-        f"{config.total_requests} requests [{args.scheme}] ..."
+        f"{config.total_requests:,} requests [{args.scheme}, "
+        f"vector_batch={config.vector_batch}{shard_note}] ..."
     )
     started = time.perf_counter()
     result = run_experiment(config)
@@ -102,7 +161,7 @@ def main() -> int:
     rate = result.completed_requests / wall
 
     print(
-        f"completed {result.completed_requests} requests in {wall:.1f}s "
+        f"completed {result.completed_requests:,} requests in {wall:.1f}s "
         f"({rate:,.0f} requests/s simulated throughput)"
     )
     print(
@@ -117,6 +176,7 @@ def main() -> int:
         f"micro events (internal flow completions): {result.micro_events} "
         f"({micro_epr:.2f}/request)"
     )
+    print(f"peak RSS: {peak_rss_mib():,.0f} MiB (self + shard workers)")
     ratio_text = f"{ratio:.0f}x" if ratio != float("inf") else "inf"
     print(f"engine-event ratio packet/flow: {ratio_text}")
 

@@ -121,6 +121,20 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         help="event-core kernels: 'auto' picks the fastest installed "
         "backend; explicit names fail if unavailable (see docs/SIMULATOR.md)",
     )
+    parser.add_argument(
+        "--vector-batch",
+        type=int,
+        default=0,
+        help="flow tier only: SoA request-block length for the vectorized "
+        "fast path (0 = scalar flow engine; see docs/MESOSCALE.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="flow tier only: split the run into N independent shards "
+        "executed as repro.exec jobs (see docs/MESOSCALE.md)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig:
@@ -145,6 +159,10 @@ def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig
         overrides["fidelity"] = args.fidelity
     if getattr(args, "engine_backend", "auto") != "auto":
         overrides["engine_backend"] = args.engine_backend
+    if getattr(args, "vector_batch", 0):
+        overrides["vector_batch"] = args.vector_batch
+    if getattr(args, "shards", 1) > 1:
+        overrides["shards"] = args.shards
     return base_config(args.profile, seed=args.seed, scheme=scheme, **overrides)
 
 

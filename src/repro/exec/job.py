@@ -30,7 +30,11 @@ if TYPE_CHECKING:  # imported lazily: experiments itself builds on repro.exec
 #: Rule CON003 (``netrs contracts``) enforces this: every field newer than
 #: the founding set in ``repro.experiments.contracts`` must have an entry
 #: here whose value equals the field's declared default.
-_DIGEST_DEFAULTS: Dict[str, Any] = {"fidelity": "packet"}
+_DIGEST_DEFAULTS: Dict[str, Any] = {
+    "fidelity": "packet",
+    "vector_batch": 0,
+    "shards": 1,
+}
 
 
 def config_digest(config: "ExperimentConfig") -> str:
@@ -93,6 +97,13 @@ class JobOutcome:
     requests_lost: int = 0
     packets_dropped: int = 0
     unavailability: float = 0.0
+    # Shard payload (fidelity="flow" with shards > 1; see repro.mesoscale.shard).
+    # Recorded latency samples travel with the outcome so the key-ordered merge
+    # reproduces the serial sample order exactly; ``counters`` carries the
+    # flow-tier traffic/fault counters the merged result sums.  Both default
+    # empty, so pre-existing ledgers (which never wrote them) still resume.
+    samples: list = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def to_record(self) -> Dict[str, Any]:
         """One JSON-safe ledger record."""

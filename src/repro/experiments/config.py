@@ -111,6 +111,9 @@ class ExperimentConfig:
     max_retries: int = 3  # retransmissions per request, once a timeout is set
     # --- fidelity tier (see docs/MESOSCALE.md) -------------------------------
     fidelity: str = "packet"  # "packet" (hop-by-hop) or "flow" (mesoscale)
+    # --- flow-tier fast path (see docs/MESOSCALE.md "Vectorized fast path") --
+    vector_batch: int = 0  # SoA request-block length; 0 = scalar flow engine
+    shards: int = 1  # independent flow sub-experiments run as exec jobs
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -247,6 +250,15 @@ class ExperimentConfig:
         if self.fidelity not in ("packet", "flow"):
             raise ConfigurationError(
                 f"fidelity must be 'packet' or 'flow', got {self.fidelity!r}"
+            )
+        if self.vector_batch < 0:
+            raise ConfigurationError("vector_batch must be >= 0")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.fidelity != "flow" and (self.vector_batch or self.shards > 1):
+            raise ConfigurationError(
+                "vector_batch and shards are flow-tier knobs; set "
+                "fidelity='flow' to use them -- see docs/MESOSCALE.md"
             )
         if self.fidelity == "flow":
             # Imported lazily for the same reason as the fault schedule; the

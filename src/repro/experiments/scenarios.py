@@ -23,7 +23,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import parse_fault_schedule
 from repro.kvstore.client import CompletionTracker, KVClient, RedundancyPolicy
 from repro.kvstore.fluctuation import BimodalFluctuation, StableService
-from repro.kvstore.hashing import ConsistentHashRing
+from repro.kvstore.hashing import shared_ring
 from repro.kvstore.server import KVServer
 from repro.kvstore.workload import (
     ClosedLoopWorkload,
@@ -99,7 +99,7 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     )
 
     client_hosts, server_hosts = _assign_roles(config, topology, rng)
-    ring = ConsistentHashRing(
+    ring = shared_ring(
         server_hosts,
         replication_factor=config.replication_factor,
         virtual_nodes=config.virtual_nodes,

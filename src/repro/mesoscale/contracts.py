@@ -16,6 +16,14 @@ here -- the declaration is the reviewable artifact.
 CON002 contracts bind the RNG surface: the stream *families* both tiers
 create (a renamed family is a silently different seed) and the ordered
 draws on the shared mixed-family arrival stream.
+
+The vectorized flow tier (:mod:`repro.mesoscale.vector`) is a third layer
+of the same discipline: its batched prologue and flat endpoints replay the
+scalar flow tier, with the *scalar* engine as oracle.  Most of its surface
+is structurally vectorized (one megaloop instead of per-entity methods)
+and is covered by the runtime byte-identity suites instead; the endpoints
+below stayed statement-shaped, so they get static pairs too, and its
+arrival-stream draw order is pinned against ``FlowEngine._arrival``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.lint.contracts import (
 )
 
 _FLOW = "src/repro/mesoscale/flow.py"
+_VECTOR = "src/repro/mesoscale/vector.py"
 _SERVER = "src/repro/kvstore/server.py"
 _CLIENT = "src/repro/kvstore/client.py"
 _WORKLOAD = "src/repro/kvstore/workload.py"
@@ -329,6 +338,25 @@ MIRROR_PAIRS = (
             "return None",
         ),
     ),
+    # -- scalar flow tier <-> vectorized flow tier ---------------------
+    MirrorPair(
+        # The vector server reads queue depth into a local instead of the
+        # scalar tier's ``queue_size`` property (same expression, hoisted
+        # out of the double read); everything else is line for line.
+        name="vector.server.arrival",
+        reference=Site(_FLOW, "_FlowServer.handle_arrival"),
+        mirror=Site(_VECTOR, "_VFlowServer.handle_arrival"),
+        renames=(("self.queue_size", "queued"),),
+        drop_mirror=("queued = len(self._waiting) + self._in_service",),
+    ),
+    MirrorPair(
+        # The vector engine keeps RGIDs in a rid-indexed array instead of
+        # per-request entry objects; the selector interaction is identical.
+        name="vector.selector.on_request",
+        reference=Site(_FLOW, "FlowEngine._select_work"),
+        mirror=Site(_VECTOR, "VectorFlowEngine._select_work"),
+        renames=(("entry.rgid", "self._rgid_of[rid]"),),
+    ),
     # -- workload arrival loop -----------------------------------------
     MirrorPair(
         name="workload.arrival",
@@ -382,6 +410,27 @@ DRAW_SEQUENCES = (
         reference_rng="_rng",
         mirror_rng="_arrival_rng",
         reference_only_draws=("<rng>.random",),
+    ),
+    # The vector tier rolls the workload forward a block at a time, but the
+    # per-request draws on the shared arrival stream keep the scalar order:
+    # client pick, then the inter-arrival gap.  The key draw lives on its
+    # own batched stream (not an arrival-stream draw on either side).
+    DrawSequencePair(
+        name="vector arrival-stream draw order",
+        reference=Site(_FLOW, "FlowEngine._arrival"),
+        mirror=Site(_VECTOR, "VectorFlowEngine._load_chunk"),
+        reference_rng="_arrival_rng",
+        mirror_rng="rng",
+    ),
+    # Both engines open with one exponential on the arrival stream (the
+    # scalar tier posts the first arrival; the vector tier seeds the block
+    # cursor with the same value).
+    DrawSequencePair(
+        name="vector opening arrival draw",
+        reference=Site(_FLOW, "FlowEngine.run"),
+        mirror=Site(_VECTOR, "VectorFlowEngine.run"),
+        reference_rng="_arrival_rng",
+        mirror_rng="_arrival_rng",
     ),
 )
 

@@ -43,7 +43,7 @@ from repro.faults.events import (
 )
 from repro.faults.schedule import parse_fault_schedule
 from repro.kvstore.client import CompletionTracker, RedundancyPolicy
-from repro.kvstore.hashing import ConsistentHashRing
+from repro.kvstore.hashing import shared_ring
 from repro.kvstore.workload import DemandWeights, ZipfSampler
 from repro.mesoscale.geometry import FatTreeGeometry
 from repro.mesoscale.support import ensure_flow_supported
@@ -625,6 +625,18 @@ class FlowEngine:
         rng = RngRegistry(config.seed)
         self.rng = rng
         batch = config.rng_batch_size
+        # Stream blocks sized to the run: a server's service stream draws
+        # about total/n_servers values and a client's redundancy stream far
+        # fewer, so on short runs a full default block would pre-draw (and
+        # convert to Python floats) many times more values than are ever
+        # served.  Served values are identical for any block size (the
+        # BatchedStream contract) -- only the refill points move.
+        if batch > 0:
+            per_server = 8 * max(1, config.total_requests // max(1, config.n_servers))
+            service_batch = max(64, min(batch, per_server))
+            client_batch = min(batch, 256)
+        else:
+            service_batch = client_batch = 0
 
         # --- clock & micro-event machinery --------------------------------
         self._now = self.env.now
@@ -645,7 +657,7 @@ class FlowEngine:
         self.server_hosts = sorted(
             shuffled[config.n_clients : config.n_clients + config.n_servers]
         )
-        self.ring = ConsistentHashRing(
+        self.ring = shared_ring(
             self.server_hosts,
             replication_factor=config.replication_factor,
             virtual_nodes=config.virtual_nodes,
@@ -686,7 +698,7 @@ class FlowEngine:
                 self,
                 name,
                 parallelism=config.parallelism,
-                draws=rng.batched(f"service.{name}", batch),
+                draws=rng.batched(f"service.{name}", service_batch),
                 alpha=config.ewma_alpha,
                 mean_model=mean_model,
             )
@@ -721,7 +733,9 @@ class FlowEngine:
                     netrs=config.netrs,
                     redundancy=redundancy,
                     draws=(
-                        rng.batched(f"redundancy.{name}", batch) if redundancy else None
+                        rng.batched(f"redundancy.{name}", client_batch)
+                        if redundancy
+                        else None
                     ),
                     request_timeout=config.request_timeout,
                     max_retries=config.max_retries,

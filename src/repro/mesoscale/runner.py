@@ -12,6 +12,7 @@ harness to prove its gate can fail.
 from __future__ import annotations
 
 import math
+import os
 import time
 
 from repro.errors import ReproError
@@ -33,13 +34,43 @@ def run_flow_experiment(
     normal runs); the validation harness uses it to build deliberately
     mis-calibrated fixtures.  With ``keep_engine`` the live engine is
     attached as ``result.engine`` for inspection.
+
+    Dispatch: ``config.shards > 1`` fans the run out as independent
+    ``repro.exec`` jobs and merges them (repro.mesoscale.shard);
+    ``config.vector_batch > 0`` selects the struct-of-arrays fast path
+    (repro.mesoscale.vector), bit-identical to the scalar engine.  The
+    ``REPRO_VECTOR_FORCE`` environment variable (a block length) routes
+    scalar-configured runs through the vector engine too -- safe because
+    the two are bit-identical; the CI vector leg uses it to run the whole
+    fast suite on the SoA path.
     """
-    # The flow tier's hop chains mix per-hop delays (host vs switch links),
-    # so it has no compiled kernels; resolving still enforces the explicit-
-    # backend availability contract (engine_backend="numba" without numba
-    # must fail loudly here too, not silently differ from the packet tier).
+    if config.shards > 1:
+        # Imported lazily: shard fan-out builds on this function.
+        from repro.mesoscale.shard import run_sharded_flow_experiment
+
+        return run_sharded_flow_experiment(
+            config, service_time_scale=service_time_scale
+        )
+    # Resolving enforces the explicit-backend availability contract
+    # (engine_backend="numba" without numba must fail loudly here too, not
+    # silently differ from the packet tier).
     resolve_backend(config.engine_backend)
-    engine = FlowEngine(config, service_time_scale=service_time_scale)
+    vector_batch = config.vector_batch
+    if vector_batch == 0:
+        forced = os.environ.get("REPRO_VECTOR_FORCE", "")
+        if forced:
+            vector_batch = int(forced)
+    if vector_batch > 0:
+        # Imported lazily so scalar runs never pay the numpy-kernels import.
+        from repro.mesoscale.vector import VectorFlowEngine
+
+        engine: FlowEngine = VectorFlowEngine(
+            config,
+            service_time_scale=service_time_scale,
+            vector_batch=vector_batch,
+        )
+    else:
+        engine = FlowEngine(config, service_time_scale=service_time_scale)
     expected_duration = config.total_requests / config.arrival_rate()
     safety_horizon = engine.env.now + expected_duration * 5 + 10.0
 

@@ -1,0 +1,314 @@
+"""Sharded flow-tier execution: fan one run out as independent exec jobs.
+
+``ExperimentConfig.shards = N`` models the full system as ``N`` independent
+sub-systems: shard ``s`` owns the contiguous block of clients and servers
+``[s * size, (s + 1) * size)``, receives ``1/N`` of the requests (remainder
+to the lowest shards) and runs as a self-contained flow experiment with its
+own derived seed.  Because :meth:`ExperimentConfig.arrival_rate` scales with
+``n_servers``, each shard automatically carries ``1/N`` of the aggregate
+load, so per-server utilization -- the quantity the paper's latency curves
+are driven by -- is unchanged.
+
+Shards execute through :func:`repro.exec.execute_jobs` (the PR1 machinery):
+serially by default, or on a spawn-safe worker pool when ``workers > 1`` /
+``REPRO_SHARD_WORKERS`` is set.  Outcomes are merged in job-key order --
+which embeds the shard index -- so the merged result is a pure function of
+the config: byte-identical for any worker count, and (because each shard is
+an ordinary flow run) identical whether shards run the scalar or the
+vectorized engine.
+
+Fault schedules shard too: logical targets (``server#i`` / ``client#i`` /
+``tor(client#i)``) are remapped onto the owning shard's local index space.
+Raw host names cannot be mapped and are rejected at config time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.exec import ExecutionPolicy, Job, JobOutcome, execute_jobs, outcome_from_result
+from repro.faults.events import (
+    LinkDegrade,
+    LinkDown,
+    LinkUp,
+    ServerDown,
+    ServerUp,
+)
+from repro.faults.schedule import FaultSchedule, parse_fault_schedule
+
+if TYPE_CHECKING:  # imported lazily: experiments builds on this package
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import ExperimentResult
+
+#: Per-shard seeds are spread with a large prime stride so neighbouring
+#: shard indices never produce overlapping SeedSequence entropy pools.
+_SEED_STRIDE = 100003
+
+#: Result fields the merge sums across shards (disjoint sub-systems).
+_MERGE_SUMS = (
+    "completed_requests",
+    "transmissions",
+    "bytes_transferred",
+    "netrs_overhead_bytes",
+    "events_executed",
+    "micro_events",
+    "redundant_requests",
+    "timeouts",
+    "retries",
+    "requests_lost",
+    "duplicates_suppressed",
+    "packets_dropped",
+    "server_dropped_requests",
+    "faults_injected",
+    "selector_requests_handled",
+    "rsnode_count",
+)
+
+
+# ----------------------------------------------------------------------
+# Fault-target remapping
+# ----------------------------------------------------------------------
+def _shard_of(ref: str, config: "ExperimentConfig") -> int:
+    """Owning shard of one logical node reference."""
+    inner = ref.strip()
+    while inner.startswith("tor(") and inner.endswith(")"):
+        inner = inner[4:-1].strip()
+    for prefix, population in (
+        ("server#", config.n_servers),
+        ("client#", config.n_clients),
+    ):
+        if inner.startswith(prefix):
+            try:
+                index = int(inner[len(prefix):])
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad logical fault target {ref!r}"
+                ) from None
+            if not 0 <= index < population:
+                raise ConfigurationError(
+                    f"fault target {ref!r} out of range (0..{population - 1})"
+                )
+            return index // (population // config.shards)
+    raise ConfigurationError(
+        f"sharded runs cannot map fault target {ref!r}: use logical "
+        "'server#i' / 'client#i' / 'tor(client#i)' references "
+        "(raw host names bind to the unsharded topology)"
+    )
+
+
+def _localize(ref: str, config: "ExperimentConfig") -> str:
+    """Rewrite a logical reference into the owning shard's index space."""
+    ref = ref.strip()
+    if ref.startswith("tor(") and ref.endswith(")"):
+        return f"tor({_localize(ref[4:-1], config)})"
+    for prefix, population in (
+        ("server#", config.n_servers),
+        ("client#", config.n_clients),
+    ):
+        if ref.startswith(prefix):
+            index = int(ref[len(prefix):])
+            return f"{prefix}{index % (population // config.shards)}"
+    raise ConfigurationError(f"cannot localize fault target {ref!r}")
+
+
+def split_fault_schedule(
+    config: "ExperimentConfig",
+) -> List[Optional[str]]:
+    """Per-shard fault specs for ``config`` (None where a shard has none).
+
+    Raises :class:`~repro.errors.ConfigurationError` for targets that do not
+    shard: raw host names, and link faults whose endpoints live in
+    different shards (the sub-systems share no links).
+    """
+    shards = config.shards
+    if not config.fault_schedule:
+        return [None] * shards
+    per_shard: List[FaultSchedule] = [FaultSchedule() for _ in range(shards)]
+    for event in parse_fault_schedule(config.fault_schedule).events:
+        if isinstance(event, (ServerDown, ServerUp)):
+            owner = _shard_of(event.server, config)
+            per_shard[owner].add(
+                type(event)(event.at, _localize(event.server, config))
+            )
+        elif isinstance(event, (LinkDown, LinkUp, LinkDegrade)):
+            owner_a = _shard_of(event.a, config)
+            owner_b = _shard_of(event.b, config)
+            if owner_a != owner_b:
+                raise ConfigurationError(
+                    f"link fault {event.a!r}<->{event.b!r} crosses shards "
+                    f"{owner_a} and {owner_b}; sharded sub-systems share no "
+                    "links"
+                )
+            local_a = _localize(event.a, config)
+            local_b = _localize(event.b, config)
+            if isinstance(event, LinkDegrade):
+                per_shard[owner_a].add(
+                    LinkDegrade(event.at, local_a, local_b, event.factor)
+                )
+            else:
+                per_shard[owner_a].add(type(event)(event.at, local_a, local_b))
+        else:  # RSNode events: already rejected by ensure_flow_supported
+            raise ConfigurationError(
+                "RSNode fault events are not supported on the flow tier"
+            )
+    return [
+        schedule.describe() if len(schedule) else None
+        for schedule in per_shard
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shard enumeration
+# ----------------------------------------------------------------------
+def shard_configs(config: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """The ``config.shards`` independent sub-configs of a sharded run.
+
+    Each sub-config has ``shards=1`` (it is an ordinary flow run), a
+    deterministic derived seed, its share of the request budget, and the
+    fault events owned by its node block.
+    """
+    shards = config.shards
+    if shards <= 1:
+        return [config]
+    schedules = split_fault_schedule(config)
+    base, remainder = divmod(config.total_requests, shards)
+    subs: List["ExperimentConfig"] = []
+    for index in range(shards):
+        subs.append(
+            config.replace(
+                shards=1,
+                n_servers=config.n_servers // shards,
+                n_clients=config.n_clients // shards,
+                total_requests=base + (1 if index < remainder else 0),
+                seed=config.seed * _SEED_STRIDE + index,
+                fault_schedule=schedules[index],
+            )
+        )
+    return subs
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _run_shard_job(job: Job, service_time_scale: float = 1.0) -> JobOutcome:
+    """Exec runner for one shard (module-level: spawn workers pickle it)."""
+    from repro.mesoscale.runner import run_flow_experiment
+
+    result = run_flow_experiment(
+        job.config, service_time_scale=service_time_scale
+    )
+    outcome = outcome_from_result(job, result)
+    # The merge needs the raw samples (key-ordered concat reproduces the
+    # serial sample order) and every summed counter; both travel on the
+    # outcome so they cross process boundaries and spool to the ledger.
+    outcome.samples = list(result.latency.samples)
+    counters: Dict[str, float] = {
+        name: getattr(result, name) for name in _MERGE_SUMS
+    }
+    counters["sim_duration"] = result.sim_duration
+    counters["unavailability"] = result.unavailability
+    counters["accelerator_max_utilization"] = result.accelerator_max_utilization
+    outcome.counters = counters
+    return outcome
+
+
+def merge_outcomes(
+    config: "ExperimentConfig",
+    outcomes: Sequence[JobOutcome],
+    *,
+    wall_time: float = 0.0,
+) -> "ExperimentResult":
+    """Fold shard outcomes (in shard order) into one standard result.
+
+    Counters sum (the shards are disjoint sub-systems), latency samples
+    concatenate in shard order, ``sim_duration`` and accelerator pressure
+    take the max, downtime sums (each fault event is owned by exactly one
+    shard).
+    """
+    from repro.experiments.runner import ExperimentResult
+    from repro.sim.probes import LatencyRecorder
+
+    recorder = LatencyRecorder()
+    totals: Dict[str, float] = {name: 0 for name in _MERGE_SUMS}
+    sim_duration = 0.0
+    unavailability = 0.0
+    accelerator_util = 0.0
+    for outcome in outcomes:
+        recorder.extend(outcome.samples)
+        counters = outcome.counters
+        for name in _MERGE_SUMS:
+            totals[name] += counters.get(name, 0)
+        sim_duration = max(sim_duration, counters.get("sim_duration", 0.0))
+        unavailability += counters.get("unavailability", 0.0)
+        accelerator_util = max(
+            accelerator_util, counters.get("accelerator_max_utilization", 0.0)
+        )
+    result = ExperimentResult(
+        config=config,
+        latency=recorder,
+        sim_duration=sim_duration,
+        wall_time=wall_time,
+        completed_requests=int(totals["completed_requests"]),
+        transmissions=int(totals["transmissions"]),
+        bytes_transferred=int(totals["bytes_transferred"]),
+        netrs_overhead_bytes=int(totals["netrs_overhead_bytes"]),
+        events_executed=int(totals["events_executed"]),
+        micro_events=int(totals["micro_events"]),
+        redundant_requests=int(totals["redundant_requests"]),
+        timeouts=int(totals["timeouts"]),
+        retries=int(totals["retries"]),
+        requests_lost=int(totals["requests_lost"]),
+        duplicates_suppressed=int(totals["duplicates_suppressed"]),
+        packets_dropped=int(totals["packets_dropped"]),
+        server_dropped_requests=int(totals["server_dropped_requests"]),
+        faults_injected=int(totals["faults_injected"]),
+        unavailability=unavailability,
+    )
+    result.selector_requests_handled = int(totals["selector_requests_handled"])
+    if totals["rsnode_count"]:
+        result.rsnode_count = int(totals["rsnode_count"])
+        result.accelerator_max_utilization = accelerator_util
+        result.plan_description = (
+            f"FLOW-SHARDED[shards={config.shards} "
+            f"rsnodes={result.rsnode_count} granularity=rack]"
+        )
+    return result
+
+
+def run_sharded_flow_experiment(
+    config: "ExperimentConfig",
+    *,
+    workers: Optional[int] = None,
+    run_dir: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    service_time_scale: float = 1.0,
+) -> "ExperimentResult":
+    """Run a ``shards > 1`` flow config and merge the shard outcomes.
+
+    ``workers=None`` reads ``REPRO_SHARD_WORKERS`` (default 1 = serial).
+    The merged result is identical for every worker count: each shard is a
+    fully seeded experiment and the merge consumes outcomes in shard order,
+    never completion order.
+    """
+    config.validate()
+    subs = shard_configs(config)
+    jobs = [Job.from_config(sub, index) for index, sub in enumerate(subs)]
+    if workers is None:
+        workers = int(os.environ.get("REPRO_SHARD_WORKERS", "1") or "1")
+    policy = ExecutionPolicy(
+        workers=max(1, workers), run_dir=run_dir, resume=resume
+    )
+    runner = (
+        partial(_run_shard_job, service_time_scale=service_time_scale)
+        if service_time_scale != 1.0
+        else _run_shard_job
+    )
+    started = time.perf_counter()  # repro: noqa(DET002) - wall time, reported only
+    outcomes = execute_jobs(jobs, policy=policy, runner=runner)
+    wall_time = time.perf_counter() - started  # repro: noqa(DET002) - reported only
+    ordered = [outcomes[job.key] for job in jobs]
+    return merge_outcomes(config, ordered, wall_time=wall_time)

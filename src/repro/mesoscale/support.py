@@ -25,6 +25,8 @@ def _reject(reason: str) -> None:
 
 def ensure_flow_supported(config) -> None:
     """Raise :class:`ConfigurationError` if ``config`` needs the packet tier."""
+    if config.shards > 1:
+        _ensure_shardable(config)
     if config.scheme not in FLOW_SCHEMES:
         _reject(
             f"scheme {config.scheme!r} (supported: {', '.join(FLOW_SCHEMES)}; "
@@ -84,3 +86,40 @@ def ensure_flow_supported(config) -> None:
 def _is_host(name: str) -> bool:
     target = name.strip()
     return target.startswith("host") or target.startswith(("server#", "client#"))
+
+
+def _ensure_shardable(config) -> None:
+    """Reject configs the shard fan-out cannot split evenly (or at all).
+
+    Sharding models the system as ``shards`` disjoint sub-systems, so every
+    shard needs an identical node block and at least one request; fault
+    targets must remap onto a shard-local index space.
+    """
+    shards = config.shards
+    if config.n_servers % shards:
+        raise ConfigurationError(
+            f"shards={shards} must divide n_servers={config.n_servers} "
+            "(each shard is an identical sub-system; docs/MESOSCALE.md)"
+        )
+    if config.n_clients % shards:
+        raise ConfigurationError(
+            f"shards={shards} must divide n_clients={config.n_clients} "
+            "(each shard is an identical sub-system; docs/MESOSCALE.md)"
+        )
+    if config.n_servers // shards < config.replication_factor:
+        raise ConfigurationError(
+            f"each of {shards} shards would hold "
+            f"{config.n_servers // shards} servers, fewer than "
+            f"replication_factor={config.replication_factor}"
+        )
+    if config.total_requests < shards:
+        raise ConfigurationError(
+            f"total_requests={config.total_requests} cannot be split over "
+            f"{shards} shards (every shard needs at least one request)"
+        )
+    if config.fault_schedule:
+        # The remap itself is the check: it raises on raw host names and
+        # on link faults whose endpoints live in different shards.
+        from repro.mesoscale.shard import split_fault_schedule
+
+        split_fault_schedule(config)

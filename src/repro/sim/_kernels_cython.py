@@ -88,3 +88,37 @@ def count_undone_hops(bases, delays, hops, stop_time, undone):
         undone[j] = count
         total += count
     return total
+
+
+def path_chain(times, hops, out):
+    """Chained per-hop accumulation over a block of start times (ulp-exact).
+
+    Per element this is the scalar hop chain ``t += delay`` in hop order,
+    matching the numpy reference's element-wise per-hop additions bit for
+    bit.
+    """
+    i: cython.Py_ssize_t
+    j: cython.Py_ssize_t
+    for i in range(len(times)):
+        t: cython.double = times[i]
+        for j in range(len(hops)):
+            t += hops[j]
+        out[i] = t
+    return out
+
+
+def hop_class_batch(client_rack, client_pod, replica_rack, replica_pod, out):
+    """Locality class (0=same rack, 1=same pod, 2=cross-pod) per cell."""
+    i: cython.Py_ssize_t
+    j: cython.Py_ssize_t
+    for i in range(len(client_rack)):
+        rack: cython.long = client_rack[i]
+        pod: cython.long = client_pod[i]
+        for j in range(replica_rack.shape[1]):
+            if replica_rack[i, j] == rack:
+                out[i, j] = 0
+            elif replica_pod[i, j] == pod:
+                out[i, j] = 1
+            else:
+                out[i, j] = 2
+    return out

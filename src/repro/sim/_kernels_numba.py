@@ -11,6 +11,8 @@ editing a kernel, edit its reference loop in the same commit:
 * :func:`c3_select`        <-> ``repro.selection.c3.C3Selector.select``
 * :func:`chained_arrival`  <-> ``repro.network.fabric.Network.transmit_fast``
 * :func:`count_undone_hops` <-> ``repro.network.fabric.Network.settle_trunks``
+* :func:`path_chain`       <-> ``repro.mesoscale.vector.path_chain``
+* :func:`hop_class_batch`  <-> ``repro.mesoscale.vector.hop_class_batch``
 
 The pairing is registered in :data:`repro.sim.backend.KERNEL_MIRRORS` and
 enforced statically: ``netrs contracts`` (rule CON001) compares this module
@@ -108,3 +110,49 @@ def count_undone_hops(
         undone[j] = count
         total += count
     return total
+
+
+@njit(cache=True)
+def path_chain(
+    times: np.ndarray,  # float64[n], block start times
+    hops: np.ndarray,  # float64[h], per-hop delays of one locality class
+    out: np.ndarray,  # float64[n], output
+) -> np.ndarray:
+    """Chained per-hop accumulation over a block of start times.
+
+    Per element this is the scalar hop chain ``t += delay`` in hop order --
+    the numpy reference applies each hop element-wise over the whole block,
+    which performs the identical additions, so delivery timestamps are
+    bit-equal across backends.
+    """
+    for i in range(times.shape[0]):
+        t = times[i]
+        for j in range(hops.shape[0]):
+            t += hops[j]
+        out[i] = t
+    return out
+
+
+@njit(cache=True)
+def hop_class_batch(
+    client_rack: np.ndarray,  # int64[n], per-request client rack
+    client_pod: np.ndarray,  # int64[n], per-request client pod
+    replica_rack: np.ndarray,  # int64[n, r], per-(request, replica) rack
+    replica_pod: np.ndarray,  # int64[n, r], per-(request, replica) pod
+    out: np.ndarray,  # int64[n, r], output locality class
+) -> np.ndarray:
+    """Locality class (0=same rack, 1=same pod, 2=cross-pod) per cell.
+
+    Integer compares only; trivially exact on every backend.
+    """
+    for i in range(client_rack.shape[0]):
+        rack = client_rack[i]
+        pod = client_pod[i]
+        for j in range(replica_rack.shape[1]):
+            if replica_rack[i, j] == rack:
+                out[i, j] = 0
+            elif replica_pod[i, j] == pod:
+                out[i, j] = 1
+            else:
+                out[i, j] = 2
+    return out

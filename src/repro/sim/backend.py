@@ -51,7 +51,13 @@ BACKEND_CHOICES = ("auto", "python", "numba", "cython")
 
 #: The kernel entry points a compiled backend module must export.  One
 #: interface, two implementations: the modules are drop-in replacements.
-KERNEL_NAMES = ("c3_select", "chained_arrival", "count_undone_hops")
+KERNEL_NAMES = (
+    "c3_select",
+    "chained_arrival",
+    "count_undone_hops",
+    "path_chain",
+    "hop_class_batch",
+)
 
 #: Where each kernel's implementations live (``path:qualname``).  This is
 #: the registry behind the "edit the reference loop in the same commit"
@@ -78,6 +84,19 @@ KERNEL_MIRRORS = {
         "reference": "src/repro/network/fabric.py:Network.settle_trunks",
         "numba": "src/repro/sim/_kernels_numba.py:count_undone_hops",
         "cython": "src/repro/sim/_kernels_cython.py:count_undone_hops",
+    },
+    # Whole-request SoA kernels of the vectorized flow tier; here the
+    # pure-Python "reference" is itself a numpy function (the oracle the
+    # byte-identity suites compare against is the *scalar* flow engine).
+    "path_chain": {
+        "reference": "src/repro/mesoscale/vector.py:path_chain",
+        "numba": "src/repro/sim/_kernels_numba.py:path_chain",
+        "cython": "src/repro/sim/_kernels_cython.py:path_chain",
+    },
+    "hop_class_batch": {
+        "reference": "src/repro/mesoscale/vector.py:hop_class_batch",
+        "numba": "src/repro/sim/_kernels_numba.py:hop_class_batch",
+        "cython": "src/repro/sim/_kernels_cython.py:hop_class_batch",
     },
 }
 

@@ -19,8 +19,12 @@ PRs can track regressions without the pytest-benchmark machinery:
 * ``backend_dispatch``  -- C3 selections through the resolved event-core
   backend (selections/s); the per-backend kernel canary,
 * ``fig4_slice``        -- wall time of one small Figure-4 cell end to end,
-* ``mesoscale_slice``   -- the same cell on the flow tier (requests/s), the
-  mesoscale speedup canary (see docs/MESOSCALE.md).
+* ``mesoscale_slice``   -- the same cell on the flow tier's SoA fast path
+  (requests/s), the mesoscale speedup canary (see docs/MESOSCALE.md),
+* ``flow_request_batch`` -- the vectorized whole-request fast path on a
+  fault-free cell (requests/s); the block prologue + flat-drain canary,
+* ``shard_merge``       -- a 4-shard flow run fanned out and merged in
+  process (requests/s); the shard split/remap/merge overhead canary.
 
 Usage::
 
@@ -240,17 +244,61 @@ def bench_fig4_slice(requests: int = 2_000) -> int:
     return result.completed_requests
 
 
+#: Flow-tier knobs the slices below run under, stamped into the report
+#: metadata: rates measured with different knobs are different benchmarks.
+MESOSCALE_VECTOR_BATCH = 4_096
+SHARD_BENCH_SHARDS = 4
+
+
 def bench_mesoscale_slice(requests: int = 2_000) -> int:
-    """The fig4 cell on the flow tier (``fidelity="flow"``); returns the
-    number of completed requests.  Divide the two slices' rates for the
-    mesoscale speedup on this machine."""
+    """The fig4 cell on the flow tier's SoA fast path (``fidelity="flow"``,
+    ``vector_batch > 0``); returns the number of completed requests.
+    Divide the two slices' rates for the mesoscale speedup on this
+    machine.  Byte-identity with the scalar flow engine is asserted by the
+    test suite, so the vector knob changes only the rate."""
     from repro.experiments.config import ExperimentConfig
     from repro.mesoscale.runner import run_flow_experiment
 
     config = ExperimentConfig.small(
         scheme="clirs-r95", seed=1, n_clients=32, total_requests=requests
-    )
+    ).replace(fidelity="flow", vector_batch=MESOSCALE_VECTOR_BATCH)
     result = run_flow_experiment(config)
+    return result.completed_requests
+
+
+def bench_flow_request_batch(requests: int = 4_000) -> int:
+    """The vectorized whole-request fast path, isolated: a fault-free
+    single-send cell (clirs) where every request takes the dense SoA route
+    -- block prologue, kernel-built delivery tables, flat drain."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.mesoscale.runner import run_flow_experiment
+
+    config = ExperimentConfig.small(
+        scheme="clirs", seed=1, n_clients=32, total_requests=requests
+    ).replace(fidelity="flow", vector_batch=1_024)
+    result = run_flow_experiment(config)
+    return result.completed_requests
+
+
+def bench_shard_merge(requests: int = 2_000) -> int:
+    """A sharded flow run, fanned out serially in process and merged.
+
+    Measures what sharding adds around the sub-runs: config splitting,
+    per-shard job spool, and the key-ordered merge (worker processes are
+    deliberately not spawned -- process startup would swamp the signal and
+    CI boxes disagree on core counts)."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.mesoscale.shard import run_sharded_flow_experiment
+
+    config = ExperimentConfig.small(
+        scheme="clirs-r95", seed=1, n_clients=32, n_servers=64,
+        total_requests=requests,
+    ).replace(
+        fidelity="flow",
+        shards=SHARD_BENCH_SHARDS,
+        vector_batch=MESOSCALE_VECTOR_BATCH,
+    )
+    result = run_sharded_flow_experiment(config, workers=1)
     return result.completed_requests
 
 
@@ -266,6 +314,8 @@ BENCHMARKS: Dict[str, Callable[[], int]] = {
     "backend_dispatch": bench_backend_dispatch,
     "fig4_slice": bench_fig4_slice,
     "mesoscale_slice": bench_mesoscale_slice,
+    "flow_request_batch": bench_flow_request_batch,
+    "shard_merge": bench_shard_merge,
 }
 
 #: Per-benchmark allowed fractional rate drop before --compare fails.
@@ -282,6 +332,8 @@ THRESHOLDS: Dict[str, float] = {
     "backend_dispatch": 0.5,
     "fig4_slice": 0.6,
     "mesoscale_slice": 0.6,
+    "flow_request_batch": 0.6,
+    "shard_merge": 0.6,
 }
 
 
@@ -320,6 +372,13 @@ def run_benchmarks(
         "engine_backend": resolve("auto").describe(),
         "numba": numba_version(),
         "cython": cython_version(),
+        # Flow-tier knobs the mesoscale slices ran under (additive v2
+        # metadata): a rate measured with different knobs is a different
+        # benchmark, so archived reports record them.
+        "flow_tier": {
+            "vector_batch": MESOSCALE_VECTOR_BATCH,
+            "shards": SHARD_BENCH_SHARDS,
+        },
         "platform": platform.platform(),
         "repeats": repeats,
         "benchmarks": {},

@@ -54,6 +54,21 @@ MIRROR_PAIRS = (
         ),
     ),
     MirrorPair(
+        name="kernel.path_chain",
+        reference=_site("path_chain", "numba"),
+        mirror=_site("path_chain", "cython"),
+        mirror_renames=(
+            ("len(times)", "times.shape[0]"),
+            ("len(hops)", "hops.shape[0]"),
+        ),
+    ),
+    MirrorPair(
+        name="kernel.hop_class_batch",
+        reference=_site("hop_class_batch", "numba"),
+        mirror=_site("hop_class_batch", "cython"),
+        mirror_renames=(("len(client_rack)", "client_rack.shape[0]"),),
+    ),
+    MirrorPair(
         name="kernel.c3_select",
         reference=_site("c3_select", "numba"),
         mirror=_site("c3_select", "cython"),

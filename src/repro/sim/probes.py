@@ -97,7 +97,7 @@ class LatencyRecorder:
     sketch.
     """
 
-    __slots__ = ("_samples", "_sorted")
+    __slots__ = ("_samples", "_sorted", "_mean_cache")
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -106,6 +106,10 @@ class LatencyRecorder:
         # issue path queries the mean/percentile after nearly every add,
         # and re-sorting per query is quadratic in run length.
         self._sorted: array | None = None
+        # (sample count, mean) of the last mean() call: repeated queries
+        # between adds (the R95 warmup issues faster than it completes)
+        # return the identical float without re-reducing.
+        self._mean_cache: Tuple[int, float] | None = None
 
     def add(self, latency: float) -> None:
         """Record one latency sample, in seconds."""
@@ -151,19 +155,54 @@ class LatencyRecorder:
 
     def mean(self) -> float:
         """Arithmetic mean (NaN when empty)."""
-        if not self._samples:
+        count = len(self._samples)
+        if not count:
             return math.nan
-        # ndarray.mean() is what np.mean dispatches to; calling it directly
-        # skips the wrapper (this sits on the R95 issue path).
-        return float(self._ensure_sorted().mean())
+        cache = self._mean_cache
+        if cache is not None and cache[0] == count:
+            return cache[1]
+        # np.add.reduce is the exact pairwise reduction ndarray.mean()
+        # dispatches to internally; calling it directly (and dividing by
+        # the known count) skips the _methods._mean wrapper while keeping
+        # the bits identical.  This sits on the R95 issue path.
+        value = float(np.add.reduce(self._ensure_sorted()) / count)
+        self._mean_cache = (count, value)
+        return value
 
     def percentile(self, q: float) -> float:
-        """Empirical ``q``-th percentile, ``0 <= q <= 100`` (NaN when empty)."""
+        """Empirical ``q``-th percentile, ``0 <= q <= 100`` (NaN when empty).
+
+        Computes numpy's default ``linear`` quantile directly on the sorted
+        mirror: virtual index ``(n - 1) * q/100``, then the two-sided lerp
+        ``_quantile`` uses (``b - diff * (1 - g)`` when ``g >= 0.5``).  The
+        scalar arithmetic is the same operation order numpy performs, so
+        values are bit-equal to ``np.percentile`` while skipping its array
+        machinery -- this sits on the R95 threshold-refresh path.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile out of range: {q}")
-        if not self._samples:
+        count = len(self._samples)
+        if not count:
             return math.nan
-        return float(np.percentile(self._ensure_sorted(), q))
+        mirror = self._sorted
+        if mirror is None:
+            mirror = self._sorted = array("d", sorted(self._samples))
+        virtual = (count - 1) * (q / 100.0)
+        previous = int(virtual)
+        if previous > count - 1:
+            previous = count - 1
+        following = previous + 1
+        if following > count - 1:
+            following = count - 1
+        gamma = virtual - previous
+        # array('d') stores C doubles, so indexing yields the identical
+        # float64 value the numpy view would -- without materialising it.
+        low = mirror[previous]
+        high = mirror[following]
+        diff = high - low
+        if gamma >= 0.5:
+            return high - diff * (1.0 - gamma)
+        return low + diff * gamma
 
     def summary(self) -> Dict[str, float]:
         """The four paper metrics: mean, p95, p99, p999 (seconds).

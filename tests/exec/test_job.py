@@ -62,6 +62,8 @@ class TestDigests:
         config = ExperimentConfig.tiny(seed=2)
         fields = dataclasses.asdict(config)
         assert fields.pop("fidelity") == "packet"
+        fields.pop("vector_batch")  # elided at defaults too (see below)
+        fields.pop("shards")
         legacy = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]
@@ -100,12 +102,64 @@ class TestDigests:
             f.path == "src/repro/experiments/config.py" for f in findings
         )
 
+    def test_digest_elides_default_vector_and_shard_knobs(self):
+        """``vector_batch`` / ``shards`` follow the ``fidelity`` dance: the
+        fields are elided at their defaults so ledgers written before the
+        knobs existed keep matching, and any non-default value is a
+        different experiment."""
+        config = ExperimentConfig.tiny(seed=2)
+        fields = dataclasses.asdict(config)
+        assert fields.pop("fidelity") == "packet"
+        assert fields.pop("vector_batch") == 0
+        assert fields.pop("shards") == 1
+        legacy = hashlib.sha256(
+            json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
+        ).hexdigest()[:16]
+        assert config_digest(config) == legacy
+        flow = config.replace(fidelity="flow")
+        assert config_digest(flow.replace(vector_batch=64)) != config_digest(flow)
+        assert config_digest(flow.replace(shards=2)) != config_digest(flow)
+
+    def test_handwritten_pre_pr9_ledger_still_resumes(self, tmp_path):
+        """A ledger spooled before the vectorized/sharded flow tier existed
+        (its digests hashed payloads with no ``vector_batch``/``shards``
+        keys) must still resume against today's configs."""
+        config = ExperimentConfig.tiny(seed=5)
+        fields = dataclasses.asdict(config)
+        fields.pop("fidelity")  # elided at its default, as before PR9
+        fields.pop("vector_batch")  # the knobs did not exist yet
+        fields.pop("shards")
+        legacy_digest = hashlib.sha256(
+            json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
+        ).hexdigest()[:16]
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        record = {
+            "schema": 1,
+            "key": "00000-clirs-s5",
+            "digest": legacy_digest,
+            "summary": {"mean": 1.0},
+            "rsnode_count": 0,
+            "completed_requests": 10,
+            "wall_time": 0.1,
+            "attempts": 1,
+        }
+        (run_dir / "ledger.jsonl").write_text(
+            json.dumps(record) + "\n", encoding="utf-8"
+        )
+        outcomes = RunLedger(run_dir).load()
+        job = Job.from_config(config, 0)
+        assert job.key in outcomes
+        assert outcomes[job.key].digest == job.digest
+
     def test_handwritten_pre_pr8_ledger_still_resumes(self, tmp_path):
         """A ledger written before the contract sanitizer existed must keep
         matching: the contract work pins digests, it does not change them."""
         config = ExperimentConfig.tiny(seed=5)
         fields = dataclasses.asdict(config)
         fields.pop("fidelity")  # the pre-PR6 payload had no fidelity key
+        fields.pop("vector_batch")  # nor, later, the PR9 flow-tier knobs
+        fields.pop("shards")
         legacy_digest = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]

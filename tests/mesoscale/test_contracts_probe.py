@@ -1,0 +1,108 @@
+"""Drift-injection probes for the vector tier's contract declarations.
+
+The lint fixtures prove the checker catches drift in a synthetic mini-tree;
+these probes prove the *shipped declarations* would catch drift in the real
+files: each test copies the relevant sources into a scratch tree, injects a
+one-line drift into the mirror side, and asserts the declaration (pulled
+from the live registries by name, so a renamed or deleted declaration fails
+here too) reports exactly one finding of the right rule.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.lint.contracts import ContractRegistry, check_contracts
+from repro.mesoscale.contracts import CONTRACTS as MESO_CONTRACTS
+from repro.sim.contracts import CONTRACTS as SIM_CONTRACTS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_VECTOR = "src/repro/mesoscale/vector.py"
+_FLOW = "src/repro/mesoscale/flow.py"
+_NUMBA = "src/repro/sim/_kernels_numba.py"
+_CYTHON = "src/repro/sim/_kernels_cython.py"
+
+
+def _mirror_pair(name):
+    for pair in SIM_CONTRACTS.mirror_pairs + MESO_CONTRACTS.mirror_pairs:
+        if pair.name == name:
+            return pair
+    raise AssertionError(f"declaration {name!r} is gone from the registries")
+
+
+def _draw_pair(name):
+    for pair in MESO_CONTRACTS.draw_sequences:
+        if pair.name == name:
+            return pair
+    raise AssertionError(f"declaration {name!r} is gone from the registries")
+
+
+def _scratch_tree(tmp_path, relpaths):
+    for rel in relpaths:
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(REPO_ROOT / rel, target)
+
+
+def _inject(tmp_path, rel, old, new):
+    target = tmp_path / rel
+    source = target.read_text(encoding="utf-8")
+    assert source.count(old) == 1, f"probe anchor {old!r} not unique in {rel}"
+    target.write_text(source.replace(old, new), encoding="utf-8")
+
+
+@pytest.mark.parametrize(
+    "name,files,rel,old,new,rule",
+    [
+        (
+            # Reordered float addition in the cython twin: same value in
+            # exact arithmetic, different ulp chain -- exactly the drift
+            # the kernel pairing exists to catch.
+            "kernel.path_chain",
+            (_NUMBA, _CYTHON),
+            _CYTHON,
+            "t += hops[j]",
+            "t = hops[j] + t",
+            "CON001",
+        ),
+        (
+            # Counter drift in the vector server endpoint.
+            "vector.server.arrival",
+            (_FLOW, _VECTOR),
+            _VECTOR,
+            "self.arrivals += 1",
+            "self.arrivals += 2",
+            "CON001",
+        ),
+    ],
+)
+def test_injected_mirror_drift_is_caught(tmp_path, name, files, rel, old, new, rule):
+    pair = _mirror_pair(name)
+    registry = ContractRegistry(mirror_pairs=[pair])
+    _scratch_tree(tmp_path, files)
+    assert check_contracts(str(tmp_path), registry=registry) == []
+    _inject(tmp_path, rel, old, new)
+    findings = check_contracts(str(tmp_path), registry=registry)
+    assert [f.rule for f in findings] == [rule], findings
+    assert findings[0].path == rel
+
+
+def test_injected_draw_swap_is_caught(tmp_path):
+    """Substituting the inter-arrival exponential with a uniform draw
+    changes the arrival stream's draw sequence; the CON002 declaration
+    must flag the divergence."""
+    pair = _draw_pair("vector arrival-stream draw order")
+    registry = ContractRegistry(draw_sequences=[pair])
+    _scratch_tree(tmp_path, (_FLOW, _VECTOR))
+    assert check_contracts(str(tmp_path), registry=registry) == []
+    _inject(
+        tmp_path,
+        _VECTOR,
+        "t = t + rng.exponential(rate_inv)",
+        "t = t + rng.random() * rate_inv",
+    )
+    findings = check_contracts(str(tmp_path), registry=registry)
+    assert [f.rule for f in findings] == ["CON002"], findings
+    assert findings[0].path == _VECTOR

@@ -57,18 +57,23 @@ def test_same_seed_is_bit_identical():
     assert first.micro_events == second.micro_events
 
 
+@pytest.mark.parametrize("vector_batch", [0, 64])
 @pytest.mark.parametrize("scheme", FLOW_SCHEMES)
-def test_flow_matches_packet_bit_exactly(scheme, backend):
+def test_flow_matches_packet_bit_exactly(scheme, backend, vector_batch):
     """The packet tier runs each installed event-core backend; the flow
     tier has no compiled kernels, so this doubles as cross-backend
-    byte-identity for the packet engine."""
+    byte-identity for the packet engine.  ``vector_batch > 0`` routes the
+    flow side through the SoA fast path, which must change nothing."""
     config = _tiny(scheme, engine_backend=backend)
     packet = run_experiment(config)
-    flow = run_flow_experiment(config)
+    flow = run_flow_experiment(
+        config.replace(fidelity="flow", vector_batch=vector_batch)
+    )
     _assert_identical(packet, flow)
 
 
-def test_flow_matches_packet_under_faults():
+@pytest.mark.parametrize("vector_batch", [0, 7])
+def test_flow_matches_packet_under_faults(vector_batch):
     config = _tiny(
         "clirs",
         fault_schedule=FAULT_SCHEDULE,
@@ -76,7 +81,9 @@ def test_flow_matches_packet_under_faults():
         max_retries=4,
     )
     packet = run_experiment(config)
-    flow = run_flow_experiment(config)
+    flow = run_flow_experiment(
+        config.replace(fidelity="flow", vector_batch=vector_batch)
+    )
     _assert_identical(packet, flow)
     assert packet.timeouts > 0  # the schedule actually bites
 
