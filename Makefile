@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast test-slow ci faults-smoke mesoscale-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline contracts help
+.PHONY: install test test-fast test-slow ci faults-smoke mesoscale-smoke docs-check consistency-smoke bench bench-smoke bench-profile bench-compare bench-figures lint lint-report lint-baseline contracts help
 
 help:
 	@echo "install       editable install"
@@ -11,6 +11,8 @@ help:
 	@echo "ci            what CI runs: fast tests (see .github/workflows/ci.yml)"
 	@echo "faults-smoke  crash-and-recover drill from docs/FAULTS.md (retries, zero lost)"
 	@echo "mesoscale-smoke  1k-host flow-tier demo + fidelity gate on one paper config"
+	@echo "docs-check    validate every relative link/anchor in README.md + docs/*.md, then run the docs/CONSISTENCY.md example"
+	@echo "consistency-smoke  quorum-write/read-repair/churn drill from docs/CONSISTENCY.md"
 	@echo "lint          determinism + contract sanitizers + ruff + mypy (latter two skip if absent)"
 	@echo "lint-report   lint (incl. contracts) with JSON output to lint-report.json (CI artifact)"
 	@echo "lint-baseline re-snapshot lint-baseline.json (grandfathering workflow)"
@@ -44,6 +46,23 @@ faults-smoke:
 		--requests 4000 \
 		--faults "server-down@0.02:server#0;server-up@0.06:server#0" \
 		--request-timeout 0.02 --max-retries 5
+
+# Documentation gate: every relative link and anchor across README.md and
+# docs/*.md must resolve (repro.lint.docs), then the runnable example of
+# docs/CONSISTENCY.md executes exactly as written there.
+docs-check:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint.docs
+	$(MAKE) consistency-smoke
+
+# The runnable example of docs/CONSISTENCY.md, exactly as written there:
+# a 20% write mix with W=2, quorum reads R=2, and server#1 leaving the
+# ring at 30 ms then rejoining at 80 ms.  Expect writes/consistency/churn
+# report lines with churn events=2 and migrated keys > 0.
+consistency-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run clirs --requests 4000 \
+		--write-fraction 0.2 --write-quorum 2 --read-quorum 2 \
+		--churn-schedule "node-leave@0.03:server#1;node-join@0.08:server#1" \
+		--request-timeout 0.05
 
 # The flow tier's CI drill (docs/MESOSCALE.md): the scaled-down 1,024-host
 # demo must beat the packet tier by 50x engine events per request, and the

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Write mix + membership churn grid: in-network selection vs stale replicas.
+
+The paper evaluates NetRS on a read-only workload with static membership.
+This grid is the first measurement in the repo of how in-network replica
+selection behaves when replica state can actually diverge: client PUTs with
+a write quorum, quorum reads (R=2) that detect version mismatches and
+trigger read-repair, and a mid-run node leave/join that migrates key ranges
+through the same fabric the foreground requests use (docs/CONSISTENCY.md).
+
+The sweep is the Fig. 4 setup (fixed client count) with
+``write_fraction`` in {0, 0.1, 0.3}, comparing clirs vs netrs-tor.
+
+Usage::
+
+    python examples/consistency_grid.py [--requests N] [--reps R] [--smoke]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweep import run_sweep
+
+SCHEMES = ("clirs", "netrs-tor")
+WRITE_FRACTIONS = (0.0, 0.1, 0.3)
+#: server#1 retires at 30 ms (its ranges migrate out) and rejoins at 80 ms
+#: (they migrate back).  Symbolic targets resolve per-seed, like faults.
+CHURN = "node-leave@0.03:server#1; node-join@0.08:server#1"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=6000)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny fast run (CI)"
+    )
+    args = parser.parse_args()
+
+    requests = 1500 if args.smoke else args.requests
+    base = ExperimentConfig.small(seed=args.seed, total_requests=requests)
+    result = run_sweep(
+        base,
+        parameter="write_fraction",
+        values=list(WRITE_FRACTIONS),
+        schemes=list(SCHEMES),
+        repetitions=args.reps,
+        overrides={
+            "read_quorum": 2,
+            "churn_schedule": CHURN,
+            "request_timeout": 0.05,
+        },
+    )
+
+    header = (
+        f"{'writes':>7} {'scheme':>10} {'mean':>8} {'p99':>8} "
+        f"{'stale':>6} {'repairs':>8} {'migrated':>9} {'wfail':>6}"
+    )
+    print(f"quorum reads R=2, churn: {CHURN}\n")
+    print(header)
+    print("-" * len(header))
+    for fraction in WRITE_FRACTIONS:
+        for scheme in SCHEMES:
+            cell = (fraction, scheme)
+            s = result.cells[cell]
+            extras = result.extras[cell]
+            print(
+                f"{fraction:7.0%} {scheme:>10} {s['mean']:8.3f} "
+                f"{s['p99']:8.3f} {extras['stale_reads']:6.0f} "
+                f"{extras['read_repairs']:8.0f} "
+                f"{extras['migrated_keys']:9.0f} "
+                f"{extras['write_failures']:6.0f}"
+            )
+    print(
+        "\nAt write_fraction=0 the consistency counters stay near zero "
+        "(nothing diverges without writes); as the write mix grows, quorum "
+        "reads start catching replicas mid-update and read-repair converges "
+        "them.  Migration traffic is identical across schemes -- churn is "
+        "scheduled, not load-dependent -- so any latency gap between the "
+        "clirs and netrs-tor rows at equal write mix is the selection "
+        "scheme's to keep or lose."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -96,6 +96,34 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         "(see docs/FAULTS.md)",
     )
     parser.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.0,
+        help="share of requests issued as quorum writes "
+        "(see docs/CONSISTENCY.md)",
+    )
+    parser.add_argument(
+        "--write-quorum",
+        type=int,
+        default=0,
+        help="acks a write waits for before completing "
+        "(0 = all replicas; see docs/CONSISTENCY.md)",
+    )
+    parser.add_argument(
+        "--read-quorum",
+        type=int,
+        default=0,
+        help="replicas consulted per read: data from one plus version "
+        "digests from R-1 (0 = single replica; see docs/CONSISTENCY.md)",
+    )
+    parser.add_argument(
+        "--churn-schedule",
+        default="",
+        help="membership churn spec, e.g. "
+        "'node-leave@0.03:server#0;node-join@0.06:server#0' "
+        "(see docs/CONSISTENCY.md)",
+    )
+    parser.add_argument(
         "--request-timeout",
         type=float,
         default=0.0,
@@ -151,6 +179,14 @@ def _config_from_args(args: argparse.Namespace, scheme: str) -> ExperimentConfig
         overrides["demand_skew"] = args.skew
     if getattr(args, "faults", ""):
         overrides["fault_schedule"] = args.faults
+    if getattr(args, "write_fraction", 0.0):
+        overrides["write_fraction"] = args.write_fraction
+    if getattr(args, "write_quorum", 0):
+        overrides["write_quorum"] = args.write_quorum
+    if getattr(args, "read_quorum", 0):
+        overrides["read_quorum"] = args.read_quorum
+    if getattr(args, "churn_schedule", ""):
+        overrides["churn_schedule"] = args.churn_schedule
     if getattr(args, "request_timeout", 0.0):
         overrides["request_timeout"] = args.request_timeout
     if getattr(args, "max_retries", -1) >= 0:

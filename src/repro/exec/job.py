@@ -34,6 +34,8 @@ _DIGEST_DEFAULTS: Dict[str, Any] = {
     "fidelity": "packet",
     "vector_batch": 0,
     "shards": 1,
+    "read_quorum": None,
+    "churn_schedule": None,
 }
 
 
@@ -97,6 +99,16 @@ class JobOutcome:
     requests_lost: int = 0
     packets_dropped: int = 0
     unavailability: float = 0.0
+    # Consistency counters (zero on read-only static-membership runs; see
+    # docs/CONSISTENCY.md).  Same forward-compat story as the fault counters.
+    writes_completed: int = 0
+    write_failures: int = 0
+    stale_reads: int = 0
+    read_repairs: int = 0
+    migrated_keys: int = 0
+    migration_bytes: int = 0
+    churn_events: int = 0
+    write_summary: Dict[str, float] = field(default_factory=dict)
     # Shard payload (fidelity="flow" with shards > 1; see repro.mesoscale.shard).
     # Recorded latency samples travel with the outcome so the key-ordered merge
     # reproduces the serial sample order exactly; ``counters`` carries the
@@ -135,4 +147,12 @@ def outcome_from_result(job: Job, result) -> JobOutcome:
         requests_lost=result.requests_lost,
         packets_dropped=result.packets_dropped,
         unavailability=result.unavailability,
+        writes_completed=result.writes_completed,
+        write_failures=result.write_failures,
+        stale_reads=result.stale_reads,
+        read_repairs=result.read_repairs,
+        migrated_keys=result.migrated_keys,
+        migration_bytes=result.migration_bytes,
+        churn_events=result.churn_events,
+        write_summary=result.write_summary() or {},
     )

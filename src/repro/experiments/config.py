@@ -83,6 +83,7 @@ class ExperimentConfig:
     utilization: float = 0.9  # nominal rho = t_kv * A / (Ns * Np)
     write_fraction: float = 0.0  # share of requests that are writes
     write_quorum: Optional[int] = None  # acks to wait for (None = all)
+    read_quorum: Optional[int] = None  # replicas consulted per read (None = 1)
     total_requests: int = 30_000
     warmup_fraction: float = 0.1
     zipf_exponent: float = 0.99
@@ -109,6 +110,8 @@ class ExperimentConfig:
     fault_schedule: Optional[str] = None  # "kind@time:target;..."; None = none
     request_timeout: Optional[float] = None  # seconds; None = never time out
     max_retries: int = 3  # retransmissions per request, once a timeout is set
+    # --- membership churn (see docs/CONSISTENCY.md) --------------------------
+    churn_schedule: Optional[str] = None  # node-join/node-leave events only
     # --- fidelity tier (see docs/MESOSCALE.md) -------------------------------
     fidelity: str = "packet"  # "packet" (hop-by-hop) or "flow" (mesoscale)
     # --- flow-tier fast path (see docs/MESOSCALE.md "Vectorized fast path") --
@@ -156,6 +159,45 @@ class ExperimentConfig:
     def prior_service_rate(self) -> float:
         """Cold-start service-rate prior for selectors: ``Np / t_kv``."""
         return self.parallelism / self.mean_service_time
+
+    def effective_read_quorum(self) -> int:
+        """Replicas consulted per read (R); ``None`` means 1."""
+        return self.read_quorum if self.read_quorum is not None else 1
+
+    def effective_write_quorum(self) -> int:
+        """Acks awaited per write (W); ``None`` means all replicas."""
+        return (
+            self.write_quorum
+            if self.write_quorum is not None
+            else self.replication_factor
+        )
+
+    def consistency_notes(self) -> "list[str]":
+        """Warning-level notes about the configured consistency regime.
+
+        A sloppy quorum (``R + W <= N``) is deliberately *not* an error:
+        it is a meaningful operating point (Dynamo-style availability over
+        consistency) whose consequence -- reads may miss the latest write
+        -- the staleness metrics exist to measure.  The note surfaces the
+        choice in :meth:`ExperimentResult.describe` instead.
+        """
+        notes = []
+        touches_quorums = (
+            self.write_fraction > 0
+            or self.read_quorum is not None
+            or self.write_quorum is not None
+        )
+        if touches_quorums:
+            r = self.effective_read_quorum()
+            w = self.effective_write_quorum()
+            if r + w <= self.replication_factor:
+                notes.append(
+                    f"sloppy quorum: R({r}) + W({w}) <= "
+                    f"N({self.replication_factor}); read and write quorums "
+                    "need not intersect, so reads may return stale values "
+                    "-- see docs/CONSISTENCY.md"
+                )
+        return notes
 
     def extra_hops_budget(self) -> float:
         """The paper's E: allowed extra forwardings per second."""
@@ -226,6 +268,15 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "write_quorum must be in [1, replication_factor]"
             )
+        if self.read_quorum is not None and not (
+            1 <= self.read_quorum <= self.replication_factor
+        ):
+            raise ConfigurationError(
+                "read_quorum must be in [1, replication_factor] "
+                f"(got {self.read_quorum} with replication_factor="
+                f"{self.replication_factor}); a quorum cannot exceed the "
+                "replica count"
+            )
         if self.workload_mode not in ("open", "closed"):
             raise ConfigurationError(
                 f"workload_mode must be 'open' or 'closed', got "
@@ -246,6 +297,22 @@ class ExperimentConfig:
                     "fault_schedule crashes servers or cuts links, which "
                     "silently swallows requests; set request_timeout (and "
                     "max_retries) so clients can recover -- see docs/FAULTS.md"
+                )
+            if schedule.churn_events():
+                raise ConfigurationError(
+                    "node-join/node-leave events belong in churn_schedule, "
+                    "not fault_schedule: churn is graceful membership "
+                    "change, not a failure -- see docs/CONSISTENCY.md"
+                )
+        if self.churn_schedule:
+            from repro.faults.schedule import parse_fault_schedule
+
+            churn = parse_fault_schedule(self.churn_schedule)
+            if len(churn.churn_events()) != len(churn.events):
+                raise ConfigurationError(
+                    "churn_schedule may contain only node-join/node-leave "
+                    "events; put failures in fault_schedule instead -- see "
+                    "docs/CONSISTENCY.md"
                 )
         if self.fidelity not in ("packet", "flow"):
             raise ConfigurationError(

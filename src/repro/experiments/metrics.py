@@ -53,6 +53,40 @@ def aggregate_fault_counters(
     return totals
 
 
+#: Consistency counters surfaced when writes, quorum reads or churn are
+#: configured (all zero otherwise).  See ``docs/CONSISTENCY.md``.
+CONSISTENCY_METRICS = (
+    "writes_completed",
+    "write_failures",
+    "stale_reads",
+    "read_repairs",
+    "migrated_keys",
+    "migration_bytes",
+    "churn_events",
+)
+
+
+def consistency_summary(result) -> Dict[str, float]:
+    """The :data:`CONSISTENCY_METRICS` counters of a result-like object.
+
+    Works on anything exposing the counters as attributes
+    (:class:`~repro.experiments.runner.ExperimentResult`,
+    :class:`~repro.exec.JobOutcome`).
+    """
+    return {name: float(getattr(result, name)) for name in CONSISTENCY_METRICS}
+
+
+def aggregate_consistency_counters(
+    counter_maps: Iterable[Mapping[str, float]]
+) -> Dict[str, float]:
+    """Sum consistency counters across runs (the repetitions of a cell)."""
+    totals = {name: 0.0 for name in CONSISTENCY_METRICS}
+    for counters in counter_maps:
+        for name in CONSISTENCY_METRICS:
+            totals[name] += float(counters.get(name, 0.0))
+    return totals
+
+
 def reduction(baseline: float, other: float) -> float:
     """Relative latency reduction of ``other`` vs ``baseline``, in percent.
 

@@ -51,6 +51,18 @@ class ExperimentResult:
     server_dropped_requests: int = 0
     faults_injected: int = 0
     unavailability: float = 0.0
+    # Consistency accounting (all zero on read-only static-membership runs;
+    # docs/CONSISTENCY.md)
+    writes_completed: int = 0
+    write_failures: int = 0
+    stale_reads: int = 0
+    read_repairs: int = 0
+    repair_writes_sent: int = 0
+    quorum_degraded_reads: int = 0
+    digest_probes_sent: int = 0
+    migrated_keys: int = 0
+    migration_bytes: int = 0
+    churn_events: int = 0
 
     write_latency: Optional[LatencyRecorder] = None
 
@@ -106,6 +118,33 @@ class ExperimentResult:
                 f"packets_dropped={self.packets_dropped} "
                 f"unavailability={self.unavailability * 1e3:.1f}ms"
             )
+        ws = self.write_summary()
+        if ws is not None:
+            lines.append(
+                f"writes ms: mean={ws['mean']:.3f} p95={ws['p95']:.3f} "
+                f"p99={ws['p99']:.3f} p999={ws['p999']:.3f} "
+                f"(completed={self.writes_completed} "
+                f"failed={self.write_failures})"
+            )
+        if self.config.write_fraction or self.config.read_quorum is not None:
+            reads = max(1, self.completed_requests)
+            lines.append(
+                "consistency: "
+                f"stale_reads={self.stale_reads} "
+                f"({self.stale_reads / reads:.4%}) "
+                f"read_repairs={self.read_repairs} "
+                f"repair_writes={self.repair_writes_sent} "
+                f"degraded_quorums={self.quorum_degraded_reads} "
+                f"digest_probes={self.digest_probes_sent}"
+            )
+        if self.config.churn_schedule:
+            lines.append(
+                f"churn: events={self.churn_events} "
+                f"migrated_keys={self.migrated_keys} "
+                f"migration_bytes={self.migration_bytes}"
+            )
+        for note in self.config.consistency_notes():
+            lines.append(f"note: {note}")
         return "\n".join(lines)
 
 
@@ -193,6 +232,23 @@ def run_experiment(
             s.dropped_requests for s in scenario.servers.values()
         ),
     )
+    result.writes_completed = sum(c.writes_completed for c in scenario.clients)
+    result.write_failures = sum(c.write_failures for c in scenario.clients)
+    result.stale_reads = sum(c.stale_reads for c in scenario.clients)
+    result.read_repairs = sum(c.read_repairs for c in scenario.clients)
+    result.repair_writes_sent = sum(
+        c.repair_writes_sent for c in scenario.clients
+    )
+    result.quorum_degraded_reads = sum(
+        c.quorum_degraded_reads for c in scenario.clients
+    )
+    result.digest_probes_sent = sum(
+        c.digest_probes_sent for c in scenario.clients
+    )
+    if scenario.churn is not None:
+        result.churn_events = scenario.churn.churn_applied
+        result.migrated_keys = scenario.churn.migrated_keys
+        result.migration_bytes = scenario.churn.migration_bytes
     if scenario.faults is not None:
         result.faults_injected = scenario.faults.faults_injected
         result.unavailability = scenario.faults.unavailability(env.now)

@@ -20,10 +20,11 @@ from repro.core.plan import SelectionPlan, TrafficGroup, make_traffic_groups
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.faults.injector import FaultInjector
-from repro.faults.schedule import parse_fault_schedule
+from repro.faults.schedule import FaultSchedule, parse_fault_schedule
 from repro.kvstore.client import CompletionTracker, KVClient, RedundancyPolicy
 from repro.kvstore.fluctuation import BimodalFluctuation, StableService
 from repro.kvstore.hashing import shared_ring
+from repro.kvstore.membership import ChurnableRing, ChurnCoordinator
 from repro.kvstore.server import KVServer
 from repro.kvstore.workload import (
     ClosedLoopWorkload,
@@ -72,6 +73,7 @@ class Scenario:
     controller: Optional[NetRSController] = None
     plan: Optional[SelectionPlan] = None
     faults: Optional[FaultInjector] = None
+    churn: Optional[ChurnCoordinator] = None
     backend: Optional[Backend] = None  # resolved event-core backend
 
     def accelerators(self) -> List[Accelerator]:
@@ -99,11 +101,19 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     )
 
     client_hosts, server_hosts = _assign_roles(config, topology, rng)
-    ring = shared_ring(
-        server_hosts,
-        replication_factor=config.replication_factor,
-        virtual_nodes=config.virtual_nodes,
-    )
+    if config.churn_schedule:
+        # Mutable membership: never the memoized shared ring.
+        ring = ChurnableRing(
+            server_hosts,
+            replication_factor=config.replication_factor,
+            virtual_nodes=config.virtual_nodes,
+        )
+    else:
+        ring = shared_ring(
+            server_hosts,
+            replication_factor=config.replication_factor,
+            virtual_nodes=config.virtual_nodes,
+        )
 
     switches = _build_switches(config, env, network, topology)
     hosts = {h.name: Host(h.name, network) for h in topology.hosts}
@@ -200,22 +210,38 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
         for client in clients:
             if hasattr(client.selector, "use_kernel"):
                 client.selector.use_kernel(backend.kernels)
+    schedule = FaultSchedule()
     if config.fault_schedule:
         # Fault runs take per-hop forwarding throughout: collapsed trunks
         # commit to a path at send time and would carry packets over links
         # that die while they are in flight.
         network.disable_trunking()
-        # Wired after NetRS so RSNode targets (including "busiest") resolve
-        # against the deployed plan.  Symbolic server#i/client#i targets
-        # index the sorted role lists, which are seeded-random per run.
+        for event in parse_fault_schedule(config.fault_schedule):
+            schedule.add(event)
+    if config.churn_schedule:
+        # Graceful churn keeps trunking: no link or server ever goes dark,
+        # so collapsed trunk timing stays valid.  Migration traffic rides
+        # the same fabric as foreground requests.
+        scenario.churn = ChurnCoordinator(
+            env, ring, servers, value_size=config.value_size
+        )
+        for event in parse_fault_schedule(config.churn_schedule):
+            schedule.add(event)
+    if len(schedule):
+        # One injector replays the merged timeline (ties break by insertion
+        # order: fault events first, then churn).  Wired after NetRS so
+        # RSNode targets (including "busiest") resolve against the deployed
+        # plan.  Symbolic server#i/client#i targets index the sorted role
+        # lists, which are seeded-random per run.
         scenario.faults = FaultInjector(
             env,
-            parse_fault_schedule(config.fault_schedule),
+            schedule,
             network=network,
             servers=servers,
             server_hosts=server_hosts,
             client_hosts=client_hosts,
             controller=scenario.controller,
+            churn=scenario.churn,
         )
         scenario.faults.arm()
     return scenario
@@ -350,6 +376,7 @@ def _build_clients(
                 ),
                 write_recorder=write_recorder,
                 write_quorum=config.write_quorum,
+                read_quorum=config.effective_read_quorum(),
                 request_timeout=config.request_timeout,
                 max_retries=config.max_retries,
             )

@@ -198,4 +198,20 @@ def run_sweep(
             / len(runs),
             "unavailability": sum(r.unavailability for r in runs) / len(runs),
         }
+        result.extras[cell].update(
+            {
+                # Consistency counters (zero on read-only static-membership
+                # runs; see docs/CONSISTENCY.md), averaged like the rest.
+                name: sum(getattr(r, name) for r in runs) / len(runs)
+                for name in (
+                    "writes_completed",
+                    "write_failures",
+                    "stale_reads",
+                    "read_repairs",
+                    "migrated_keys",
+                    "migration_bytes",
+                    "churn_events",
+                )
+            }
+        )
     return result

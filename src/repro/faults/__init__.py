@@ -8,6 +8,12 @@ stay byte-reproducible per seed.  The failure model -- event taxonomy,
 schedule grammar, client retry/timeout semantics, failover paths,
 determinism guarantees and the failure-aware metrics -- is documented in
 ``docs/FAULTS.md``.
+
+The same machinery replays *graceful membership churn* (:class:`NodeJoin` /
+:class:`NodeLeave`, configured via the separate ``churn_schedule`` knob):
+churn events resolve symbolic targets and arm on the engine clock exactly
+like faults, but dispatch to a ring/migration coordinator instead of
+crashing anything -- see ``docs/CONSISTENCY.md``.
 """
 
 from repro.faults.events import (
@@ -15,6 +21,8 @@ from repro.faults.events import (
     LinkDegrade,
     LinkDown,
     LinkUp,
+    NodeJoin,
+    NodeLeave,
     RSNodeDown,
     RSNodeUp,
     ServerDown,
@@ -30,6 +38,8 @@ __all__ = [
     "LinkDegrade",
     "LinkDown",
     "LinkUp",
+    "NodeJoin",
+    "NodeLeave",
     "RSNodeDown",
     "RSNodeUp",
     "ServerDown",

@@ -22,6 +22,13 @@ The taxonomy (see ``docs/FAULTS.md`` for the failure model):
   (switch + accelerator).  The controller flips its traffic groups to
   Degraded Replica Selection, so requests fall back to the client-chosen
   backup replica -- the paper's section III-C failover story.
+* :class:`NodeJoin` / :class:`NodeLeave` -- **graceful membership churn**
+  on the consistent-hash ring (see ``docs/CONSISTENCY.md``).  Unlike the
+  crash-stop events above, the host stays up and reachable: the ring's
+  active set changes, ownership diffs are computed, and key-range
+  migration transfers flow through the fabric.  Churn events live in
+  ``churn_schedule`` (never ``fault_schedule``) and do not open
+  unavailability windows.
 """
 
 from __future__ import annotations
@@ -133,7 +140,49 @@ class RSNodeUp:
         _check_time(self.at)
 
 
+@dataclass(frozen=True)
+class NodeLeave:
+    """Gracefully decommission ``server`` from the hash ring at ``at``.
+
+    The server hands its key ranges to the new owners (it donates the
+    migration transfers itself) and stops receiving new ownership; the
+    host remains up, so in-flight requests still complete.
+    """
+
+    at: float
+    server: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.at)
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """Admit ``server`` (previously left, or started inactive) to the ring.
+
+    The joiner acquires the ring segments its hash points claim; previous
+    owners stream the affected key ranges to it as background transfers.
+    """
+
+    at: float
+    server: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.at)
+
+
 #: Everything a schedule can hold.
 FaultEvent = Union[
-    ServerDown, ServerUp, LinkDown, LinkUp, LinkDegrade, RSNodeDown, RSNodeUp
+    ServerDown,
+    ServerUp,
+    LinkDown,
+    LinkUp,
+    LinkDegrade,
+    RSNodeDown,
+    RSNodeUp,
+    NodeJoin,
+    NodeLeave,
 ]
+
+#: The graceful-churn subset (legal only in ``churn_schedule``).
+CHURN_EVENT_TYPES = (NodeJoin, NodeLeave)

@@ -27,6 +27,8 @@ from repro.faults.events import (
     LinkDegrade,
     LinkDown,
     LinkUp,
+    NodeJoin,
+    NodeLeave,
     RSNodeDown,
     RSNodeUp,
     ServerDown,
@@ -54,9 +56,11 @@ class FaultInjector:
         "controller",
         "_resolved",
         "_armed",
+        "churn",
         "_down_since",
         "_closed_downtime",
         "faults_injected",
+        "churn_applied",
     )
 
     def __init__(
@@ -69,6 +73,7 @@ class FaultInjector:
         server_hosts: Sequence[str] = (),
         client_hosts: Sequence[str] = (),
         controller: Optional["NetRSController"] = None,
+        churn=None,
     ) -> None:
         self.env = env
         self.schedule = schedule
@@ -77,25 +82,41 @@ class FaultInjector:
         self.server_hosts = tuple(server_hosts)
         self.client_hosts = tuple(client_hosts)
         self.controller = controller
+        self.churn = churn
         # target key ("server:x" / "link:a/b" / "rsnode:i") -> went down at
         self._down_since: Dict[str, float] = {}
         self._closed_downtime = 0.0
         self.faults_injected = 0
+        self.churn_applied = 0
         self._armed = False
         self._resolved: List[FaultEvent] = [
             self._resolve(event) for event in schedule.events
         ]
+        if self.churn is not None:
+            # Static replay: leave-of-inactive, join-of-active, and ring
+            # underflow (active < replication_factor) fail at build time.
+            self.churn.preflight(
+                event
+                for event in self._resolved
+                if isinstance(event, (NodeJoin, NodeLeave))
+            )
 
     # ------------------------------------------------------------------
     # Target resolution
     # ------------------------------------------------------------------
     def _resolve(self, event: FaultEvent) -> FaultEvent:
-        if isinstance(event, (ServerDown, ServerUp)):
+        if isinstance(event, (ServerDown, ServerUp, NodeJoin, NodeLeave)):
             name = self._resolve_node(event.server)
             if name not in self.servers:
                 raise ConfigurationError(
                     f"fault target {event.server!r} resolves to {name!r}, "
                     f"which runs no key-value server"
+                )
+            if isinstance(event, (NodeJoin, NodeLeave)) and self.churn is None:
+                raise ConfigurationError(
+                    "node-join/node-leave events need a churn coordinator; "
+                    "set churn_schedule (not fault_schedule) so the scenario "
+                    "builds one -- see docs/CONSISTENCY.md"
                 )
             return type(event)(event.at, name)
         if isinstance(event, LinkDegrade):
@@ -176,8 +197,17 @@ class FaultInjector:
             self.env.call_at(event.at, self._apply, event)
 
     def _apply(self, event: FaultEvent) -> None:
-        self.faults_injected += 1
         now = self.env.now
+        if isinstance(event, (NodeJoin, NodeLeave)):
+            # Graceful churn: counted separately from faults and exempt
+            # from unavailability windows (the host never goes dark).
+            self.churn_applied += 1
+            if isinstance(event, NodeLeave):
+                self.churn.leave(event.server)
+            else:
+                self.churn.join(event.server)
+            return
+        self.faults_injected += 1
         if isinstance(event, ServerDown):
             server = self.servers[event.server]
             if not server.down:

@@ -17,7 +17,9 @@ A :class:`FaultSchedule` is built three ways:
 
   Grammar: events separated by ``;``, each ``kind@time:target``.  Kinds are
   ``server-down``, ``server-up``, ``link-down``, ``link-up``,
-  ``link-degrade``, ``rsnode-down``, ``rsnode-up``.  Link targets name both
+  ``link-degrade``, ``rsnode-down``, ``rsnode-up``, plus the graceful-churn
+  kinds ``node-join`` / ``node-leave`` (legal only in the separate
+  ``churn_schedule`` knob; see ``docs/CONSISTENCY.md``).  Link targets name both
   endpoints as ``a/b`` (``link-degrade`` appends ``*factor``); RSNode
   targets are an operator ID or ``busiest``.  Whitespace around tokens is
   ignored.
@@ -36,10 +38,13 @@ from typing import Iterable, List, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.faults.events import (
+    CHURN_EVENT_TYPES,
     FaultEvent,
     LinkDegrade,
     LinkDown,
     LinkUp,
+    NodeJoin,
+    NodeLeave,
     RSNodeDown,
     RSNodeUp,
     ServerDown,
@@ -55,6 +60,8 @@ _KINDS = {
     "link-degrade": LinkDegrade,
     "rsnode-down": RSNodeDown,
     "rsnode-up": RSNodeUp,
+    "node-join": NodeJoin,
+    "node-leave": NodeLeave,
 }
 _KIND_NAMES = {cls: name for name, cls in _KINDS.items()}
 
@@ -93,12 +100,25 @@ class FaultSchedule:
             isinstance(event, (ServerDown, LinkDown)) for event in self._events
         )
 
+    def churn_events(self) -> Tuple[FaultEvent, ...]:
+        """The graceful node-join/node-leave subset, in replay order.
+
+        Churn is graceful (no packets are lost), so it never factors into
+        :meth:`requires_timeouts`; config validation uses this to keep the
+        churn axis out of ``fault_schedule`` and vice versa.
+        """
+        return tuple(
+            event
+            for event in self.events
+            if isinstance(event, CHURN_EVENT_TYPES)
+        )
+
     def describe(self) -> str:
         """The canonical spec string for this schedule (parser-compatible)."""
         parts = []
         for event in self.events:
             kind = _KIND_NAMES[type(event)]
-            if isinstance(event, (ServerDown, ServerUp)):
+            if isinstance(event, (ServerDown, ServerUp, NodeJoin, NodeLeave)):
                 target = event.server
             elif isinstance(event, LinkDegrade):
                 target = f"{event.a}/{event.b}*{event.factor:g}"
@@ -139,6 +159,12 @@ class FaultSchedule:
 
     def rsnode_up(self, at: float, operator: Union[int, str]) -> "FaultSchedule":
         return self.add(RSNodeUp(at, operator))
+
+    def node_join(self, at: float, server: str) -> "FaultSchedule":
+        return self.add(NodeJoin(at, server))
+
+    def node_leave(self, at: float, server: str) -> "FaultSchedule":
+        return self.add(NodeLeave(at, server))
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultSchedule":
@@ -243,7 +269,7 @@ def parse_fault_schedule(spec: str) -> FaultSchedule:
                 f"choose from {sorted(_KINDS)}"
             )
         at = _parse_float(time_text.strip(), "time", clause)
-        if event_cls in (ServerDown, ServerUp):
+        if event_cls in (ServerDown, ServerUp, NodeJoin, NodeLeave):
             schedule.add(event_cls(at, target))
         elif event_cls is LinkDegrade:
             link_text, star, factor_text = target.partition("*")

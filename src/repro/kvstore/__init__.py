@@ -10,6 +10,7 @@ read requests with Zipfian key popularity.
 from repro.kvstore.client import CompletionTracker, KVClient, RedundancyPolicy
 from repro.kvstore.fluctuation import BimodalFluctuation, StableService
 from repro.kvstore.hashing import ConsistentHashRing
+from repro.kvstore.membership import ChurnableRing, ChurnCoordinator
 from repro.kvstore.server import KVServer
 from repro.kvstore.workload import (
     DemandWeights,
@@ -19,6 +20,8 @@ from repro.kvstore.workload import (
 
 __all__ = [
     "BimodalFluctuation",
+    "ChurnCoordinator",
+    "ChurnableRing",
     "CompletionTracker",
     "ConsistentHashRing",
     "DemandWeights",

@@ -55,6 +55,27 @@ class RedundancyPolicy:
     fallback_multiplier: float = 3.0
 
 
+class _QuorumState:
+    """Per-read quorum bookkeeping; allocated only when ``read_quorum > 1``.
+
+    Kept out of :class:`_Outstanding` so the single-replica read path (the
+    default, and the only path the flow tier mirrors) allocates nothing new.
+    ``versions`` collects ``(server, (version_ts, version_id))`` in arrival
+    order -- deterministic, since packet deliveries are.
+    """
+
+    __slots__ = ("needed", "responses", "versions", "data_seen",
+                 "data_server", "data_packet")
+
+    def __init__(self, needed: int) -> None:
+        self.needed = needed
+        self.responses = 0
+        self.versions: List[Tuple[str, Tuple[float, int]]] = []
+        self.data_seen = False
+        self.data_server = ""
+        self.data_packet: Optional[Packet] = None
+
+
 @dataclass(slots=True)
 class _Outstanding:
     key: int
@@ -67,9 +88,11 @@ class _Outstanding:
     timer: object = None
     duplicates_sent: int = 0
     is_write: bool = False
+    is_repair: bool = False  # read-repair write: no metrics, no tracker
     acks_needed: int = 1
     acks_received: int = 0
     copies_sent: int = 1
+    quorum: Optional[_QuorumState] = None  # read-quorum state (R > 1 only)
     # Timeout/retry state (read path only; see docs/FAULTS.md).
     attempts: int = 0
     timeout_timer: object = None
@@ -117,6 +140,7 @@ class KVClient:
         "_draws",
         "write_recorder",
         "write_quorum",
+        "read_quorum",
         "_outstanding",
         "_history",
         "_cached_threshold",
@@ -133,6 +157,13 @@ class KVClient:
         "retries",
         "requests_lost",
         "duplicates_suppressed",
+        "writes_completed",
+        "write_failures",
+        "stale_reads",
+        "read_repairs",
+        "repair_writes_sent",
+        "quorum_degraded_reads",
+        "digest_probes_sent",
     )
 
     def __init__(
@@ -149,6 +180,7 @@ class KVClient:
         rng: Optional[DrawSource] = None,
         write_recorder: Optional[LatencyRecorder] = None,
         write_quorum: Optional[int] = None,
+        read_quorum: int = 1,
         request_timeout: Optional[float] = None,
         max_retries: int = 0,
     ) -> None:
@@ -175,6 +207,9 @@ class KVClient:
         if write_quorum is not None and write_quorum < 1:
             raise ConfigurationError("write_quorum must be >= 1")
         self.write_quorum = write_quorum
+        if read_quorum < 1:
+            raise ConfigurationError("read_quorum must be >= 1")
+        self.read_quorum = read_quorum
         self._outstanding: Dict[int, _Outstanding] = {}
         # Client-local latency history for the R95 threshold.  The threshold
         # is cached and refreshed periodically so issuing stays O(1).
@@ -203,6 +238,14 @@ class KVClient:
         self.retries = 0
         self.requests_lost = 0
         self.duplicates_suppressed = 0
+        # Consistency accounting (see docs/CONSISTENCY.md).
+        self.writes_completed = 0
+        self.write_failures = 0
+        self.stale_reads = 0
+        self.read_repairs = 0
+        self.repair_writes_sent = 0
+        self.quorum_degraded_reads = 0
+        self.digest_probes_sent = 0
         host.bind(self)
 
     # ------------------------------------------------------------------
@@ -266,6 +309,8 @@ class KVClient:
             entry.timeout_timer = self.env.call_in(
                 self.request_timeout, self._on_timeout, request_id
             )
+        if self.read_quorum > 1:
+            self._probe_digests(entry, request_id, now)
         return request_id
 
     def issue_write(self, key: int, record: bool = True) -> int:
@@ -276,6 +321,14 @@ class KVClient:
         key and completes when ``write_quorum`` acknowledgements arrive
         (default: all replicas).  Write latencies land in
         ``write_recorder`` when one is configured.
+
+        Each write carries an LWW version ``(issued_at, request_id)`` --
+        the globally monotone request ID breaks issue-time ties, making
+        last-write-wins a total order (see docs/CONSISTENCY.md).  With a
+        ``request_timeout`` configured, a write that cannot gather its
+        quorum (e.g. a replica crashed) fails after one timeout instead of
+        hanging: counted in ``write_failures``, no latency sample, and the
+        completion tracker still advances.
         """
         rgid, replicas = self.ring.group_for_key(key)
         quorum = self.write_quorum or len(replicas)
@@ -310,34 +363,71 @@ class KVClient:
                 dst=replica,
             )
             packet.is_write = True
+            packet.version_ts = now
+            packet.version_id = request_id
             self.selector.note_sent(replica, now)
             self.requests_sent += 1
             self.host.send(packet)
+        if self.request_timeout is not None:
+            entry.timeout_timer = self.env.call_in(
+                self.request_timeout, self._on_write_timeout, request_id
+            )
         return request_id
 
     def _handle_write_ack(self, packet: Packet, entry: _Outstanding) -> None:
         entry.acks_received += 1
-        if entry.acks_received == entry.acks_needed:
-            entry.done = True
-            latency = self.env.now - entry.issued_at
-            if entry.record and self.write_recorder is not None:
-                self.write_recorder.add(latency)
-            if self.trace_sink is not None:
-                self.trace_sink.record_completion(
-                    packet,
-                    issued_at=entry.issued_at,
-                    completed_at=self.env.now,
-                    recorded=entry.record,
-                    rgid=entry.rgid,
-                )
-            if self.on_complete is not None:
-                self.on_complete(self)
-            if self.tracker is not None:
-                self.tracker.complete()
-        elif entry.acks_received > entry.acks_needed:
+        if entry.done:
+            # Acks beyond the quorum, or arriving after a write timed out.
             self.late_responses += 1
+        elif entry.acks_received == entry.acks_needed:
+            entry.done = True
+            if entry.timeout_timer is not None:
+                entry.timeout_timer.cancel()  # type: ignore[attr-defined]
+            latency = self.env.now - entry.issued_at
+            if entry.is_repair:
+                # Read-repair writes are internal traffic: no latency
+                # sample, no workload completion, no closed-loop refill.
+                pass
+            else:
+                self.writes_completed += 1
+                if entry.record and self.write_recorder is not None:
+                    self.write_recorder.add(latency)
+                if self.trace_sink is not None:
+                    self.trace_sink.record_completion(
+                        packet,
+                        issued_at=entry.issued_at,
+                        completed_at=self.env.now,
+                        recorded=entry.record,
+                        rgid=entry.rgid,
+                    )
+                if self.on_complete is not None:
+                    self.on_complete(self)
+                if self.tracker is not None:
+                    self.tracker.complete()
         if entry.acks_received >= entry.copies_sent:
             self._outstanding.pop(packet.request_id, None)
+
+    def _on_write_timeout(self, request_id: int) -> None:
+        """A write failed to gather its quorum within the timeout.
+
+        Writes are not retried (replaying a fan-out write is ambiguous
+        without per-replica sequencing); the write *fails*: counted, no
+        latency sample, and the tracker advances so the run terminates.
+        Replicas that did apply the write keep it -- LWW convergence does
+        not require the client to have observed the quorum.
+        """
+        entry = self._outstanding.get(request_id)
+        if entry is None or entry.done:
+            return
+        entry.done = True
+        self.timeouts += 1
+        self.write_failures += 1
+        if entry.acks_received >= entry.copies_sent:
+            del self._outstanding[request_id]
+        if self.on_complete is not None:
+            self.on_complete(self)
+        if self.tracker is not None:
+            self.tracker.complete()
 
     def _redundancy_threshold(self) -> float:
         policy = self.redundancy
@@ -382,11 +472,208 @@ class KVClient:
         self.host.send(duplicate)
 
     # ------------------------------------------------------------------
+    # Quorum reads & read-repair (see docs/CONSISTENCY.md)
+    # ------------------------------------------------------------------
+    def _probe_digests(
+        self, entry: _Outstanding, request_id: int, now: float
+    ) -> None:
+        """Fan out ``R - 1`` version-digest probes beside the data read.
+
+        Digest probes are deterministic (the first ``R - 1`` group replicas
+        other than the data target; no RNG draws) and invisible to the
+        selector feedback loop: they bypass the server's service queue, so
+        pairing them with ``note_sent`` would corrupt the concurrency
+        estimate C3 maintains for real requests.  Under NetRS the data
+        replica is chosen in-network after the probes leave, so a probe may
+        land on the eventual data server -- that response pair simply
+        carries matching versions.
+        """
+        candidates = [r for r in entry.replicas if r != entry.primary_target]
+        targets = tuple(candidates[: self.read_quorum - 1])
+        entry.quorum = _QuorumState(needed=1 + len(targets))
+        for target in targets:
+            probe = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=entry.key,
+                rgid=entry.rgid,
+                backup_replica=target,
+                issued_at=now,
+                netrs=False,
+                dst=target,
+            )
+            probe.is_digest = True
+            self.digest_probes_sent += 1
+            self.host.send(probe)
+
+    def _absorb_digest(
+        self, packet: Packet, entry: Optional[_Outstanding]
+    ) -> None:
+        """Fold a version-digest response into its read's quorum state."""
+        if entry is None or entry.done or entry.quorum is None:
+            # The read already completed (or was lost/degraded); stale
+            # digests carry no actionable information.
+            return
+        quorum = entry.quorum
+        quorum.responses += 1
+        quorum.versions.append(
+            (packet.server, (packet.version_ts, packet.version_id))
+        )
+        if quorum.data_seen and quorum.responses >= quorum.needed:
+            self._finish_quorum_read(packet.request_id, entry, degraded=False)
+
+    def _absorb_quorum_data(self, packet: Packet, entry: _Outstanding) -> None:
+        """Fold the data response of a quorum read; complete if R are in."""
+        quorum = entry.quorum
+        assert quorum is not None
+        if quorum.data_seen:
+            # A losing duplicate/retransmission copy while digests are
+            # still pending; only its feedback (already folded) matters.
+            self.late_responses += 1
+            return
+        quorum.data_seen = True
+        quorum.data_server = packet.server
+        quorum.data_packet = packet
+        quorum.responses += 1
+        quorum.versions.append(
+            (packet.server, (packet.version_ts, packet.version_id))
+        )
+        if quorum.responses >= quorum.needed:
+            self._finish_quorum_read(packet.request_id, entry, degraded=False)
+
+    def _finish_quorum_read(
+        self, request_id: int, entry: _Outstanding, *, degraded: bool
+    ) -> None:
+        """Complete a quorum read: record latency, detect staleness, repair.
+
+        The latency sample spans issue to *quorum* (last arrival of the R
+        responses), so consulting more replicas honestly prices the extra
+        wait.  Degraded completions (timeout with data in hand but digests
+        missing) record the timeout instant -- the time the client actually
+        waited before giving up on full agreement.
+        """
+        quorum = entry.quorum
+        assert quorum is not None
+        entry.done = True
+        now = self.env.now
+        latency = now - entry.issued_at
+        self._history.add(latency)
+        self._samples_since_refresh += 1
+        packet = quorum.data_packet
+        if self.trace_sink is not None and packet is not None:
+            self.trace_sink.record_completion(
+                packet,
+                issued_at=entry.issued_at,
+                completed_at=now,
+                recorded=entry.record,
+                rgid=entry.rgid,
+            )
+        if entry.record:
+            self.recorder.add(latency)
+        if entry.timer is not None:
+            entry.timer.cancel()  # type: ignore[attr-defined]
+        if entry.timeout_timer is not None:
+            entry.timeout_timer.cancel()  # type: ignore[attr-defined]
+        if degraded:
+            self.quorum_degraded_reads += 1
+        self._repair_if_stale(entry, quorum)
+        if entry.duplicates_sent == 0 and entry.attempts == 0:
+            self._outstanding.pop(request_id, None)
+        if self.on_complete is not None:
+            self.on_complete(self)
+        if self.tracker is not None:
+            self.tracker.complete()
+
+    def _repair_if_stale(
+        self, entry: _Outstanding, quorum: _QuorumState
+    ) -> None:
+        """Version-mismatch detection plus asynchronous read-repair.
+
+        ``stale_reads`` counts reads whose *data* response was older than
+        the newest version observed in the quorum -- the value the client
+        returned was stale.  Any responder behind the newest version gets a
+        fire-and-forget repair write carrying that version (LWW: applying
+        it is idempotent and commutative).
+        """
+        newest = (0.0, 0)
+        for _server, version in quorum.versions:
+            if version > newest:
+                newest = version
+        if newest == (0.0, 0):
+            # Key never written anywhere: nothing to compare or repair.
+            return
+        stale: List[str] = []
+        data_stale = False
+        for server, version in quorum.versions:
+            if version < newest:
+                if server == quorum.data_server:
+                    data_stale = True
+                if server not in stale:
+                    stale.append(server)
+        if data_stale:
+            self.stale_reads += 1
+        if not stale:
+            return
+        self.read_repairs += 1
+        self._send_repair(entry, tuple(stale), newest)
+
+    def _send_repair(
+        self,
+        entry: _Outstanding,
+        targets: Tuple[str, ...],
+        version: Tuple[float, int],
+    ) -> None:
+        """Send asynchronous repair writes installing ``version``.
+
+        Repairs reuse the write-ack path but are flagged ``is_repair``:
+        they never arm timeouts (a repair lost to a crashed replica is
+        retried by the next stale read), record no latency, and do not
+        advance the completion tracker -- they are background traffic, not
+        workload.
+        """
+        request_id = next(_request_ids)
+        now = self.env.now
+        repair = _Outstanding(
+            key=entry.key,
+            rgid=entry.rgid,
+            replicas=targets,
+            issued_at=now,
+            record=False,
+            primary_target=targets[0],
+            is_write=True,
+            is_repair=True,
+            acks_needed=len(targets),
+            copies_sent=len(targets),
+        )
+        self._outstanding[request_id] = repair
+        for target in targets:
+            packet = make_request(
+                client=self.name,
+                request_id=request_id,
+                key=entry.key,
+                rgid=entry.rgid,
+                backup_replica=target,
+                issued_at=now,
+                netrs=False,
+                dst=target,
+            )
+            packet.is_write = True
+            packet.is_repair = True
+            packet.version_ts, packet.version_id = version
+            self.selector.note_sent(target, now)
+            self.repair_writes_sent += 1
+            self.host.send(packet)
+
+    # ------------------------------------------------------------------
     # Timeouts & retries (read path only; see docs/FAULTS.md)
     # ------------------------------------------------------------------
     def _on_timeout(self, request_id: int) -> None:
         entry = self._outstanding.get(request_id)
         if entry is None or entry.done:
+            return
+        if entry.quorum is not None and entry.quorum.data_seen:
+            self.timeouts += 1
+            self._finish_quorum_read(request_id, entry, degraded=True)
             return
         self.timeouts += 1
         if entry.attempts >= self.max_retries:
@@ -456,6 +743,9 @@ class KVClient:
         now = self.env.now
         status = packet.server_status
         entry = self._outstanding.get(packet.request_id)
+        if packet.is_digest:
+            self._absorb_digest(packet, entry)
+            return
         # Feedback always updates the local selector: in CliRS this is the
         # decision input, in NetRS it keeps the backup choice fresh.
         if status is not None and entry is not None:
@@ -480,6 +770,9 @@ class KVClient:
                     # (Copies swallowed by a dead server or link never
                     # arrive, so their entries are kept until run end.)
                     self._outstanding.pop(packet.request_id, None)
+            return
+        if entry.quorum is not None:
+            self._absorb_quorum_data(packet, entry)
             return
         entry.done = True
         latency = now - entry.issued_at

@@ -14,7 +14,7 @@ from collections import deque
 from typing import Deque, Protocol, Tuple
 
 from repro.network.host import Host
-from repro.network.packet import Packet, ServerStatus, make_response
+from repro.network.packet import MAGIC_PLAIN, Packet, ServerStatus, make_response
 from repro.sim.core import Environment
 from repro.sim.rng import DrawSource
 
@@ -54,6 +54,11 @@ class KVServer:
         "_epoch",
         "dropped_requests",
         "lost_in_service",
+        "_versions",
+        "digest_requests",
+        "repairs_applied",
+        "migration_keys_in",
+        "migration_bytes_in",
     )
 
     def __init__(
@@ -95,6 +100,15 @@ class KVServer:
         self._epoch = 0
         self.dropped_requests = 0
         self.lost_in_service = 0
+        # Per-key LWW version store: key -> (version_ts, version_id).  Only
+        # written keys have entries (reads of never-written keys carry the
+        # zero version).  Versions survive crashes -- crash-stop loses the
+        # queue, not the disk -- and are the payload key migration ships.
+        self._versions: "dict[int, Tuple[float, int]]" = {}
+        self.digest_requests = 0
+        self.repairs_applied = 0
+        self.migration_keys_in = 0
+        self.migration_bytes_in = 0
         host.bind(self)
         service_model.start(env)
 
@@ -147,9 +161,12 @@ class KVServer:
     # Packet handling
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet) -> None:
-        """Endpoint callback: accept a read request."""
+        """Endpoint callback: accept a request (read, write, or metadata)."""
         if self.down:
             self.dropped_requests += 1
+            return
+        if packet.is_digest or packet.is_migration:
+            self._handle_metadata(packet)
             return
         self.arrivals += 1
         if self.queue_size + 1 > self.max_queue_seen:
@@ -181,7 +198,82 @@ class KVServer:
             status=self.status(),
             value_size=self.value_size,
         )
+        self._fold_version(packet, response)
         self.host.send(response)
         if self._waiting:
             next_packet, arrived_at = self._waiting.popleft()
             self._begin_service(next_packet, arrived_at)
+
+    # ------------------------------------------------------------------
+    # Consistency protocol (see docs/CONSISTENCY.md)
+    # ------------------------------------------------------------------
+    def version_of(self, key: int) -> Tuple[float, int]:
+        """The LWW version of ``key``; the zero version if never written."""
+        return self._versions.get(key, (0.0, 0))
+
+    def version_items(self):
+        """Stored ``(key, version)`` pairs in write-application order.
+
+        Dict insertion order is the order writes were first applied, which
+        is deterministic per seed -- migration payloads iterate this.
+        """
+        return self._versions.items()
+
+    def _fold_version(self, packet: Packet, response: Packet) -> None:
+        """Apply a write's version (LWW) and stamp the store's onto the reply.
+
+        Called at completion time from ``_complete`` (the packet tier's only
+        write-path hook in a mirrored method; the flow tier drops it by
+        contract until writes are mirrored).  Ordering ties break on the
+        globally monotone ``version_id``, so last-write-wins is a total
+        order and replicas converge regardless of apply order.
+        """
+        if packet.is_write:
+            incoming = (packet.version_ts, packet.version_id)
+            if incoming > self._versions.get(packet.key, (0.0, 0)):
+                self._versions[packet.key] = incoming
+                if packet.is_repair:
+                    self.repairs_applied += 1
+        version = self._versions.get(packet.key)
+        if version is not None:
+            response.version_ts, response.version_id = version
+
+    def _handle_metadata(self, packet: Packet) -> None:
+        """Serve version metadata outside the service queue.
+
+        Digest probes and migration installs touch only the in-memory
+        version table (no value retrieval), so they answer immediately
+        instead of competing with data requests for the ``Np`` service
+        slots -- and deliberately do not perturb ``arrivals``, queue sizes,
+        or the piggybacked feedback loop.
+        """
+        if packet.is_migration:
+            self._install_migration(packet)
+            return
+        self.digest_requests += 1
+        response = Packet(
+            src=self.name,
+            dst=packet.client,
+            magic=MAGIC_PLAIN,
+            request_id=packet.request_id,
+            server_status=self.status(),
+            key=packet.key,
+            value_size=0,
+            client=packet.client,
+            server=self.name,
+            issued_at=packet.issued_at,
+            is_digest=True,
+        )
+        version = self._versions.get(packet.key)
+        if version is not None:
+            response.version_ts, response.version_id = version
+        self.host.send(response)
+
+    def _install_migration(self, packet: Packet) -> None:
+        """Fold a migration chunk into the version store (LWW per key)."""
+        for key, version_ts, version_id in packet.migration_entries:
+            incoming = (version_ts, version_id)
+            if incoming > self._versions.get(key, (0.0, 0)):
+                self._versions[key] = incoming
+                self.migration_keys_in += 1
+        self.migration_bytes_in += packet.value_size

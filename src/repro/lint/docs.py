@@ -1,0 +1,153 @@
+"""Documentation link checker: every relative link and anchor must resolve.
+
+Scans ``README.md`` plus ``docs/*.md`` (the set ``make docs-check`` covers)
+for inline markdown links.  External links (``http(s)://``, ``mailto:``) are
+skipped -- CI must not depend on the network -- but every relative target
+must name an existing file, and every fragment (``file.md#section`` or
+in-page ``#section``) must match a heading anchor in the target document,
+using GitHub's slug rules (lowercase, punctuation stripped, spaces to
+hyphens, ``-N`` suffixes for duplicates).
+
+Run as ``python -m repro.lint.docs [root]``; exits non-zero listing each
+broken link as ``file:line: message``.  The check is pure string work over
+the tree -- no simulation imports -- so it stays fast enough for CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+#: Inline markdown link: ``[text](target)``.  Images (``![alt](...)``) match
+#: too via the optional bang; both kinds must resolve.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+#: Markdown emphasis/code markers stripped before slugification.
+_MARKUP = re.compile(r"[`*_]")
+#: Characters GitHub drops from heading anchors.
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for one heading (before deduplication)."""
+    text = _MARKUP.sub("", heading.strip())
+    # Inline links inside headings anchor on their text, not their target.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(markdown: str) -> List[str]:
+    """All heading anchors of a document, duplicate-suffixed like GitHub."""
+    anchors: List[str] = []
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith(("```", "~~~")):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.append(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _iter_links(markdown: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link outside fences."""
+    in_fence = False
+    for lineno, line in enumerate(markdown.splitlines(), start=1):
+        if line.lstrip().startswith(("```", "~~~")):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The documents the check covers: README.md plus docs/*.md."""
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_docs(root: Path) -> List[str]:
+    """Validate every relative link/anchor; returns ``file:line: message``."""
+    root = root.resolve()
+    files = doc_files(root)
+    anchor_cache: Dict[Path, List[str]] = {}
+
+    def anchors_of(path: Path) -> List[str]:
+        cached = anchor_cache.get(path)
+        if cached is None:
+            cached = heading_anchors(path.read_text(encoding="utf-8"))
+            anchor_cache[path] = cached
+        return cached
+
+    problems: List[str] = []
+    for doc in files:
+        text = doc.read_text(encoding="utf-8")
+        rel_doc = doc.relative_to(root)
+        for lineno, target in _iter_links(text):
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{rel_doc}:{lineno}: broken link {target!r} "
+                        f"({path_part} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = doc
+            if not fragment:
+                continue
+            if resolved.suffix.lower() != ".md" or not resolved.is_file():
+                # Anchors into non-markdown targets (source files) are
+                # line references GitHub resolves; nothing to validate.
+                continue
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{rel_doc}:{lineno}: broken anchor {target!r} "
+                    f"(no heading slugs to #{fragment} in "
+                    f"{resolved.relative_to(root)})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else Path.cwd()
+    files = doc_files(root)
+    if not files:
+        print(f"docs-check: no README.md or docs/*.md under {root}")
+        return 1
+    problems = check_docs(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs-check: {len(problems)} broken link(s)")
+        return 1
+    print(f"docs-check: ok ({len(files)} documents, all links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

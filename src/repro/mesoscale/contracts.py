@@ -88,6 +88,12 @@ MIRROR_PAIRS = (
         name="server.arrival",
         reference=Site(_SERVER, "KVServer.handle_packet"),
         mirror=Site(_FLOW, "_FlowServer.handle_arrival"),
+        # Version digests and migration transfers are consistency-protocol
+        # metadata (docs/CONSISTENCY.md); the flow tier rejects write/churn
+        # configs up front, so the dispatch has no mirror.
+        drop_reference=(
+            "if packet.is_digest or packet.is_migration: ...",
+        ),
         equivalences=(
             (
                 "self._begin_service(packet, arrived_at=self.env.now)",
@@ -128,6 +134,9 @@ MIRROR_PAIRS = (
         name="server.complete",
         reference=Site(_SERVER, "KVServer._complete"),
         mirror=Site(_FLOW, "_FlowServer._complete"),
+        # LWW version folding only matters once writes exist, and the flow
+        # tier rejects write workloads (mesoscale.support).
+        drop_reference=("self._fold_version(packet, response)",),
         drop_mirror=("engine = self.engine",),
         equivalences=(
             (
@@ -161,6 +170,7 @@ MIRROR_PAIRS = (
             _ISSUE_NETRS_PACKET,
             _ISSUE_CLIRS_PACKET,
             "delay = self._redundancy_threshold()",
+            "if self.read_quorum > 1: ...",
         ),
         drop_mirror=("engine = self.engine",),
         equivalences=(
@@ -229,6 +239,7 @@ MIRROR_PAIRS = (
             "self.requests_sent += 1",
             "self.host.send(packet)",
             "if self.on_complete is not None: ...",
+            "if entry.quorum is not None and entry.quorum.data_seen: ...",
         ),
         drop_mirror=(
             "engine = self.engine",
@@ -266,7 +277,9 @@ MIRROR_PAIRS = (
         # instrumentation is unsupported -- see mesoscale.support).
         drop_reference=(
             "status = packet.server_status",
+            "if packet.is_digest: ...",
             "if entry is not None and entry.is_write: ...",
+            "if entry.quorum is not None: ...",
             "if self.trace_sink is not None: ...",
             "if entry.timer is not None: ...",
             "if entry.timeout_timer is not None: ...",

@@ -35,7 +35,20 @@ def ensure_flow_supported(config) -> None:
     if config.workload_mode != "open":
         _reject("closed-loop workloads")
     if config.write_fraction:
-        _reject("mixed read/write workloads")
+        _reject(
+            "mixed read/write workloads (quorum writes are not mirrored "
+            "into the flow tier yet; set write_fraction=0)"
+        )
+    if config.read_quorum is not None and config.read_quorum > 1:
+        _reject(
+            "quorum reads (the digest-probe path is not mirrored into the "
+            "flow tier yet; leave read_quorum unset)"
+        )
+    if config.churn_schedule:
+        _reject(
+            "membership churn (ring migration traffic is not mirrored into "
+            "the flow tier yet; leave churn_schedule unset)"
+        )
     if config.background_traffic_rate > 0:
         _reject("background traffic")
     if config.track_link_stats:

@@ -119,6 +119,13 @@ class Packet:
     issued_at: float = 0.0  # client clock at issue time
     is_redundant: bool = False  # duplicate sent by CliRS-R95
     is_write: bool = False  # replicated write (fans out to all replicas)
+    # --- consistency protocol segments (see docs/CONSISTENCY.md) ----------
+    is_digest: bool = False  # version-only read probe (quorum reads)
+    is_repair: bool = False  # asynchronous read-repair write
+    is_migration: bool = False  # key-range transfer between servers (churn)
+    version_ts: float = 0.0  # LWW logical timestamp (client issue clock)
+    version_id: int = 0  # LWW tie-break (globally monotone request id)
+    migration_entries: tuple = ()  # ((key, version_ts, version_id), ...)
     # --- latency-decomposition stamps (simulation metadata, not wire data) --
     selected_at: float = 0.0  # when an RSNode finished selecting (0 = client)
     server_queue_delay: float = 0.0  # waiting time at the server
@@ -214,6 +221,13 @@ class Packet:
             backup_replica=self.backup_replica,
             issued_at=self.issued_at,
             is_redundant=self.is_redundant,
+            is_write=self.is_write,
+            is_digest=self.is_digest,
+            is_repair=self.is_repair,
+            is_migration=self.is_migration,
+            version_ts=self.version_ts,
+            version_id=self.version_id,
+            migration_entries=self.migration_entries,
         )
         duplicate.selected_at = self.selected_at
         duplicate.server_queue_delay = self.server_queue_delay
@@ -290,6 +304,7 @@ def make_response(request: Packet, *, server: str, status: ServerStatus, value_s
         issued_at=request.issued_at,
         is_redundant=request.is_redundant,
         is_write=request.is_write,
+        is_digest=request.is_digest,
     )
     response.selected_at = request.selected_at
     response.server_queue_delay = request.server_queue_delay

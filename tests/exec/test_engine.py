@@ -221,6 +221,68 @@ class TestLedgerAndResume:
             assert not (scratch / f"{job.key}.runs").exists()
         assert all(o.micro_events == 0 for o in outcomes.values())
 
+    def test_resume_accepts_pre_consistency_ledger(self, scratch, tmp_path):
+        """Ledgers written before the consistency layer existed must
+        resume cleanly against today's configs.
+
+        Hand-writes records in the pre-PR10 layout: digests computed over
+        a config payload with no ``read_quorum``/``churn_schedule`` keys
+        (which ``config_digest`` reproduces by eliding the defaults) and
+        records carrying none of the write/churn counters.  Every job
+        must be skipped, not re-run, and the missing counters default to
+        zero on load.
+        """
+        import dataclasses
+        import hashlib
+
+        run_dir = tmp_path / "run"
+        run_dir.mkdir(parents=True)
+        jobs = _jobs(2)
+        lines = []
+        for job in jobs:
+            fields = dataclasses.asdict(job.config)
+            # The pre-PR10 config had none of these fields; earlier-era
+            # elided fields (all at their defaults in _jobs) were likewise
+            # absent from the hashed payload.
+            for name in (
+                "fidelity",
+                "vector_batch",
+                "shards",
+                "read_quorum",
+                "churn_schedule",
+            ):
+                fields.pop(name)
+            legacy = hashlib.sha256(
+                json.dumps(fields, sort_keys=True, default=repr).encode()
+            ).hexdigest()[:16]
+            assert legacy == job.digest  # elision keeps old ledgers valid
+            record = {"schema": 1}
+            record.update(echo_runner(job).to_record())
+            record["digest"] = legacy
+            for name in (  # none of these counters existed yet
+                "writes_completed",
+                "write_failures",
+                "stale_reads",
+                "read_repairs",
+                "migrated_keys",
+                "migration_bytes",
+                "churn_events",
+                "write_summary",
+            ):
+                del record[name]
+            lines.append(json.dumps(record))
+        RunLedger(run_dir).path.write_text("\n".join(lines) + "\n")
+        outcomes = execute_jobs(
+            jobs,
+            policy=ExecutionPolicy(run_dir=run_dir, resume=True),
+            runner=touch_counting_runner,
+        )
+        assert list(outcomes) == [job.key for job in jobs]
+        for job in jobs:  # resumed from the ledger, never executed
+            assert not (scratch / f"{job.key}.runs").exists()
+        assert all(o.write_failures == 0 for o in outcomes.values())
+        assert all(o.write_summary == {} for o in outcomes.values())
+
     def test_fresh_run_resets_stale_ledger(self, scratch, tmp_path):
         run_dir = tmp_path / "run"
         jobs = _jobs(1)

@@ -64,6 +64,8 @@ class TestDigests:
         assert fields.pop("fidelity") == "packet"
         fields.pop("vector_batch")  # elided at defaults too (see below)
         fields.pop("shards")
+        fields.pop("read_quorum")  # PR10 consistency knobs, same dance
+        fields.pop("churn_schedule")
         legacy = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]
@@ -112,6 +114,8 @@ class TestDigests:
         assert fields.pop("fidelity") == "packet"
         assert fields.pop("vector_batch") == 0
         assert fields.pop("shards") == 1
+        assert fields.pop("read_quorum") is None
+        assert fields.pop("churn_schedule") is None
         legacy = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]
@@ -129,6 +133,8 @@ class TestDigests:
         fields.pop("fidelity")  # elided at its default, as before PR9
         fields.pop("vector_batch")  # the knobs did not exist yet
         fields.pop("shards")
+        fields.pop("read_quorum")
+        fields.pop("churn_schedule")
         legacy_digest = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]
@@ -160,6 +166,8 @@ class TestDigests:
         fields.pop("fidelity")  # the pre-PR6 payload had no fidelity key
         fields.pop("vector_batch")  # nor, later, the PR9 flow-tier knobs
         fields.pop("shards")
+        fields.pop("read_quorum")  # nor the PR10 consistency knobs
+        fields.pop("churn_schedule")
         legacy_digest = hashlib.sha256(
             json.dumps(fields, sort_keys=True, default=repr).encode("utf-8")
         ).hexdigest()[:16]

@@ -1,0 +1,123 @@
+"""Tests for the docs link/anchor checker behind ``make docs-check``."""
+
+from pathlib import Path
+
+from repro.lint.docs import (
+    check_docs,
+    doc_files,
+    github_slug,
+    heading_anchors,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSlugs:
+    def test_basic_heading(self):
+        assert github_slug("The write path") == "the-write-path"
+
+    def test_punctuation_dropped(self):
+        assert github_slug("Writes, quorums & churn") == "writes-quorums--churn"
+
+    def test_markup_stripped(self):
+        assert github_slug("`code` and *emphasis*") == "code-and-emphasis"
+
+    def test_inline_link_anchors_on_text(self):
+        assert github_slug("See [the docs](docs/X.md)") == "see-the-docs"
+
+    def test_duplicates_suffixed(self):
+        text = "# Setup\n\n## Setup\n\n### Setup\n"
+        assert heading_anchors(text) == ["setup", "setup-1", "setup-2"]
+
+    def test_fenced_headings_ignored(self):
+        text = "# Real\n\n```\n# not a heading\n```\n\n## Also real\n"
+        assert heading_anchors(text) == ["real", "also-real"]
+
+
+def _tree(tmp_path, readme, docs=None):
+    """Build a minimal doc tree: README.md plus optional docs/*.md."""
+    (tmp_path / "README.md").write_text(readme, encoding="utf-8")
+    if docs:
+        docs_dir = tmp_path / "docs"
+        docs_dir.mkdir()
+        for name, text in docs.items():
+            (docs_dir / name).write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+class TestCheckDocs:
+    def test_valid_tree_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            "# Top\n\nSee [guide](docs/GUIDE.md#setup) and [self](#top).\n",
+            {"GUIDE.md": "# Guide\n\n## Setup\n\nBack to [readme](../README.md).\n"},
+        )
+        assert check_docs(root) == []
+
+    def test_broken_file_link_flagged_with_location(self, tmp_path):
+        root = _tree(tmp_path, "# Top\n\nSee [gone](docs/MISSING.md).\n")
+        problems = check_docs(root)
+        assert len(problems) == 1
+        assert problems[0].startswith("README.md:3:")
+        assert "MISSING.md" in problems[0]
+
+    def test_broken_anchor_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            "# Top\n\nSee [guide](docs/GUIDE.md#nonexistent).\n",
+            {"GUIDE.md": "# Guide\n"},
+        )
+        problems = check_docs(root)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+        assert "#nonexistent" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            "# Top\n\n[a](https://example.com/x#y) [b](mailto:x@y.z)\n",
+        )
+        assert check_docs(root) == []
+
+    def test_links_inside_code_fences_skipped(self, tmp_path):
+        root = _tree(
+            tmp_path, "# Top\n\n```\n[broken](nowhere.md)\n```\n"
+        )
+        assert check_docs(root) == []
+
+    def test_fragment_into_source_file_not_validated(self, tmp_path):
+        root = _tree(tmp_path, "# Top\n\n[line ref](x.py#L10)\n")
+        (tmp_path / "x.py").write_text("pass\n", encoding="utf-8")
+        assert check_docs(root) == []
+
+    def test_covers_readme_plus_docs(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            "# Top\n",
+            {"B.md": "# B\n", "A.md": "# A\n[bad](gone.md)\n"},
+        )
+        names = [p.name for p in doc_files(root)]
+        assert names == ["README.md", "A.md", "B.md"]
+        assert check_docs(root)  # the break in docs/A.md is found
+
+    def test_repository_tree_is_clean(self):
+        """The real README + docs must pass the exact CI check."""
+        assert check_docs(REPO_ROOT) == []
+
+
+class TestMain:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        _tree(tmp_path, "# Top\n")
+        assert main([str(tmp_path)]) == 0
+        assert "docs-check: ok" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_broken_link(self, tmp_path, capsys):
+        _tree(tmp_path, "# Top\n\n[gone](missing.md)\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "broken link" in out
+
+    def test_exit_nonzero_without_docs(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+        assert "no README.md" in capsys.readouterr().out
